@@ -1,0 +1,76 @@
+// Command hhbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	hhbench -table fig10              # pure benchmarks (Figure 10)
+//	hhbench -table fig11              # imperative benchmarks (Figure 11)
+//	hhbench -table fig12 -procs 2     # speedup series (Figure 12)
+//	hhbench -table fig13              # memory consumption (Figure 13)
+//	hhbench -table fig9               # representative operations
+//	hhbench -table fig8               # operation cost matrix
+//	hhbench -table all                # everything
+//	hhbench -bench msort,usp-tree ... # subset of benchmarks
+//	hhbench -paper                    # the paper's original problem sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|all")
+	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
+	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	names := flag.String("bench", "", "comma-separated benchmark subset")
+	paper := flag.Bool("paper", false, "use the paper's original problem sizes (slow)")
+	iters := flag.Int("fig8-iters", 200_000, "iterations per figure-8 cell")
+	flag.Parse()
+
+	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper}
+	if *names != "" {
+		opts.Names = strings.Split(*names, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	w := os.Stdout
+	tables := strings.Split(*table, ",")
+	for _, tb := range tables {
+		switch tb {
+		case "fig8":
+			run(tb, func() error { return report.Fig8(w, *iters) })
+		case "fig9":
+			run(tb, func() error { return report.Fig9(w, opts) })
+		case "fig10":
+			run(tb, func() error { return report.Fig10(w, opts) })
+		case "fig11":
+			run(tb, func() error { return report.Fig11(w, opts) })
+		case "fig12":
+			run(tb, func() error { return report.Fig12(w, opts) })
+		case "fig13":
+			run(tb, func() error { return report.Fig13(w, opts) })
+		case "all":
+			run("fig8", func() error { return report.Fig8(w, *iters) })
+			run("fig9", func() error { return report.Fig9(w, opts) })
+			run("fig10", func() error { return report.Fig10(w, opts) })
+			run("fig11", func() error { return report.Fig11(w, opts) })
+			run("fig12", func() error { return report.Fig12(w, opts) })
+			run("fig13", func() error { return report.Fig13(w, opts) })
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", tb)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command hhstress is a failure-injection stress driver: it hammers the
+// promotion machinery with concurrent entangling writes under an
+// aggressive collection policy, then verifies the disentanglement
+// invariant and the published data structures. A clean exit means the
+// hierarchy survived; any violation panics with a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/gc"
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 20, "stress rounds")
+	slots := flag.Int("slots", 64, "shared list-head slots")
+	writes := flag.Int("writes", 400, "writes per slot per round")
+	procs := flag.Int("procs", runtime.NumCPU(), "workers")
+	flag.Parse()
+
+	cfg := rts.DefaultConfig(rts.ParMem, *procs)
+	// Failure injection: collect constantly so promotions, collections,
+	// and forwarding-chain maintenance interleave as much as possible.
+	cfg.Policy = gc.Policy{MinWords: 2048, Ratio: 1.25}
+
+	for round := 0; round < *rounds; round++ {
+		r := rts.New(cfg)
+		ok := r.Run(func(t *rts.Task) uint64 {
+			arr := t.AllocMut(*slots, 0, mem.TagArrPtr)
+			mark := t.PushRoot(&arr)
+			nw := *writes
+			seq.ParDo(t, arr, 0, *slots, 1,
+				func(t *rts.Task, env mem.ObjPtr, lo, hi int) {
+					for s := lo; s < hi; s++ {
+						for i := 0; i < nw; i++ {
+							head := t.ReadMutPtr(env, s)
+							m := t.PushRoot(&env, &head)
+							cons := t.Alloc(1, 1, mem.TagCons)
+							t.PopRoots(m)
+							t.WriteInitWord(cons, 0, uint64(s)<<32|uint64(i))
+							t.WriteInitPtr(cons, 0, head)
+							t.WritePtr(env, s, cons)
+						}
+					}
+				})
+			// Validate every list: full length, descending insertion order.
+			for s := 0; s < *slots; s++ {
+				p := t.ReadMutPtr(arr, s)
+				for i := nw - 1; i >= 0; i-- {
+					if p.IsNil() || t.ReadImmWord(p, 0) != uint64(s)<<32|uint64(i) {
+						return 0
+					}
+					p = t.ReadImmPtr(p, 0)
+				}
+				if !p.IsNil() {
+					return 0
+				}
+			}
+			t.PopRoots(mark)
+			return 1
+		})
+		if ok != 1 {
+			fmt.Fprintf(os.Stderr, "round %d: DATA CORRUPTION DETECTED\n", round)
+			os.Exit(1)
+		}
+		if err := r.CheckDisentangled(); err != nil {
+			fmt.Fprintf(os.Stderr, "round %d: %v\n", round, err)
+			os.Exit(1)
+		}
+		st := r.Stats()
+		r.Close()
+		if mem.ChunksInUse() != 0 {
+			fmt.Fprintf(os.Stderr, "round %d: %d chunks leaked\n", round, mem.ChunksInUse())
+			os.Exit(1)
+		}
+		fmt.Printf("round %2d ok: %6d promotions, %4d collections, %3d steals, %5d master retries\n",
+			round, st.Ops.Promotions, st.GC.Collections, st.Steals, st.Ops.FindMasterRetries)
+	}
+	fmt.Println("stress complete: disentanglement and data integrity held")
+}

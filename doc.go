@@ -1,0 +1,18 @@
+// Package repro is a Go reproduction of "Hierarchical Memory Management
+// for Mutable State" (Guatto, Westrick, Raghunathan, Acar, Fluet;
+// PPoPP 2018).
+//
+// The library lives under internal/: the simulated managed-memory
+// substrate (mem), hierarchical heaps (heap), the paper's promotion
+// algorithms (core), promotion-aware semispace collection (gc), the
+// work-stealing scheduler (sched), the four runtime systems of the
+// evaluation (rts), the sequence and graph substrates (seq, graph), the
+// 17-benchmark suite (bench), and the table/figure regeneration layer
+// (report). See README.md for a guided tour and DESIGN.md for the system
+// inventory and experiment index.
+//
+// The root package holds the testing.B benchmarks that regenerate the
+// paper's tables (bench_test.go); run them with
+//
+//	go test -bench=. -benchmem .
+package repro

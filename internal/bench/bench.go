@@ -1,0 +1,139 @@
+// Package bench implements the paper's 17-benchmark evaluation suite
+// (§4.1–4.2) against the runtime API, with the setup/run split the paper
+// uses ("when taking timing measurements, we exclude initialization
+// times") and a deterministic checksum per benchmark so that all four
+// runtime systems can be cross-validated against each other.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// Scale sets a benchmark's problem size. The meaning of each field is
+// benchmark-specific and documented in its constructor.
+type Scale struct {
+	N     int // main problem size
+	Grain int // sequential threshold
+	Extra int // benchmark-specific secondary parameter
+}
+
+// Benchmark is one workload: untimed Setup building inputs, timed Run
+// producing an output object, and untimed Check folding the output (and
+// inputs) into a checksum used for cross-system validation.
+type Benchmark struct {
+	Name string
+	Pure bool // pure benchmarks also run on the manticore configuration
+
+	Default Scale // scaled to this machine
+	Paper   Scale // the paper's parameters
+
+	Setup func(t *rts.Task, sc Scale) mem.ObjPtr
+	Run   func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr
+	Check func(t *rts.Task, env, out mem.ObjPtr, sc Scale) uint64
+}
+
+// Result is one measured benchmark execution.
+type Result struct {
+	Elapsed  time.Duration
+	Checksum uint64
+	Totals   rts.Totals
+	// GCNanos is collection time attributable to the timed run phase
+	// (total GC time minus what the setup phase spent).
+	GCNanos int64
+}
+
+// GCFraction returns run-phase GC time as a fraction of total processor
+// time (the paper's GC_s / GC_72 statistic).
+func (r Result) GCFraction() float64 {
+	denom := float64(r.Totals.Procs) * float64(r.Elapsed.Nanoseconds())
+	if denom == 0 {
+		return 0
+	}
+	f := float64(r.GCNanos) / denom
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Run executes the benchmark once on a fresh runtime built from cfg.
+func Run(b *Benchmark, cfg rts.Config, sc Scale) Result {
+	r := rts.New(cfg)
+	var res Result
+	var gcSetup int64
+	r.Run(func(t *rts.Task) uint64 {
+		env := b.Setup(t, sc)
+		mark := t.PushRoot(&env)
+		gcSetup = t.GCNanosSoFar()
+		start := time.Now()
+		out := b.Run(t, env, sc)
+		res.Elapsed = time.Since(start)
+		t.PushRoot(&out)
+		res.Checksum = b.Check(t, env, out, sc)
+		t.PopRoots(mark)
+		return res.Checksum
+	})
+	res.Totals = r.Stats()
+	res.GCNanos = res.Totals.GCNanos - gcSetup
+	r.Close()
+	return res
+}
+
+// Measure runs the benchmark reps times and returns the median-elapsed
+// result (the paper reports medians of five runs).
+func Measure(b *Benchmark, cfg rts.Config, sc Scale, reps int) Result {
+	if reps < 1 {
+		reps = 1
+	}
+	results := make([]Result, reps)
+	for i := range results {
+		results[i] = Run(b, cfg, sc)
+	}
+	// Select the median by elapsed time.
+	order := make([]int, reps)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < reps; i++ {
+		for j := i; j > 0 && results[order[j]].Elapsed < results[order[j-1]].Elapsed; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return results[order[reps/2]]
+}
+
+// constructors lists every benchmark in the paper's table order.
+var constructors = []func() *Benchmark{
+	Fib, Tabulate, Map, Reduce, Filter, MSortPure, DMM, SMVM, Strassen, Raytracer,
+	MSort, Dedup, Tourney, Reachability, USP, USPTree, MultiUSPTree,
+}
+
+// All returns fresh instances of the full suite in table order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(constructors))
+	for i, mk := range constructors {
+		out[i] = mk()
+	}
+	return out
+}
+
+// ByName returns a fresh instance of the named benchmark.
+func ByName(name string) (*Benchmark, error) {
+	for _, mk := range constructors {
+		if b := mk(); b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// boxWord wraps a scalar result as an object so Run can return it.
+func boxWord(t *rts.Task, v uint64) mem.ObjPtr {
+	p := t.Alloc(0, 1, mem.TagRef)
+	t.WriteInitWord(p, 0, v)
+	return p
+}

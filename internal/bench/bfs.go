@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+// The BFS benchmark family (§4.2): round-based parallel breadth-first
+// search over a CSR graph. Each round processes the frontier in parallel
+// grain-sized chunks; discovered vertices are collected into leaf arrays
+// (vertex IDs are scalars, so chunk buffers need no rooting), combined into
+// a rope, and flattened into the next frontier. The variants differ only
+// in the mutable per-vertex state updated on each visit — which is exactly
+// what places them in different rows of Figure 9.
+
+const notVisited = ^uint64(0)
+
+// bfsVariant is the per-visit behaviour: it observes edge (u,v) at the
+// given round and reports whether v enters the next frontier.
+type bfsVariant func(t *rts.Task, env mem.ObjPtr, u, v, round uint64) bool
+
+// Round environment layout: ptr 0 graph, ptr 1 state1, ptr 2 state2,
+// ptr 3 frontier; word 0 round number.
+func bfsRun(t *rts.Task, g, s1, s2 mem.ObjPtr, grain int, visit bfsVariant) uint64 {
+	mark := t.PushRoot(&g, &s1, &s2)
+	frontier := seq.NewLeafU64(t, 1)
+	t.PushRoot(&frontier)
+	t.WriteInitWord(frontier, 0, 0) // source vertex 0
+
+	rounds := uint64(0)
+	for seq.Length(t, frontier) > 0 {
+		rounds++
+		env := t.Alloc(4, 1, mem.TagTuple)
+		t.WriteInitPtr(env, 0, g)
+		t.WriteInitPtr(env, 1, s1)
+		t.WriteInitPtr(env, 2, s2)
+		t.WriteInitPtr(env, 3, frontier)
+		t.WriteInitWord(env, 0, rounds)
+		m2 := t.PushRoot(&env)
+		found := seq.ParCollect(t, env, 0, seq.Length(t, frontier), grain,
+			func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr {
+				return bfsLeaf(t, env, lo, hi, visit)
+			})
+		t.PushRoot(&found)
+		frontier = seq.ToFlatU64(t, found)
+		t.PopRoots(m2)
+	}
+	t.PopRoots(mark)
+	return rounds
+}
+
+// bfsLeaf scans frontier[lo:hi), applying the variant's visit to each
+// edge and returning the discovered vertices as a fresh leaf.
+func bfsLeaf(t *rts.Task, env mem.ObjPtr, lo, hi int, visit bfsVariant) mem.ObjPtr {
+	mark := t.PushRoot(&env)
+	g := t.ReadImmPtr(env, 0)
+	frontier := t.ReadImmPtr(env, 3)
+	offs := graph.Offsets(t, g)
+	tgts := graph.Targets(t, g)
+	round := t.ReadImmWord(env, 0)
+	// The CSR arrays and frontier live at the root (or an instance root),
+	// but under stop-the-world collection any allocation inside visit may
+	// move them, so keep every local pointer rooted while scanning.
+	t.PushRoot(&g, &frontier, &offs, &tgts)
+
+	var buf []uint64 // vertex IDs: scalars, no rooting needed
+	for i := lo; i < hi; i++ {
+		u := t.ReadImmWord(frontier, i)
+		eLo := t.ReadImmWord(offs, int(u))
+		eHi := t.ReadImmWord(offs, int(u)+1)
+		for e := eLo; e < eHi; e++ {
+			v := t.ReadImmWord(tgts, int(e))
+			if visit(t, env, u, v, round) {
+				buf = append(buf, v)
+			}
+		}
+	}
+	out := seq.NewLeafU64(t, len(buf))
+	t.PopRoots(mark)
+	for i, v := range buf {
+		t.WriteInitWord(out, i, v)
+	}
+	return out
+}
+
+// bfsGraphSetup generates and loads the synthetic orkut stand-in.
+func bfsGraphSetup(t *rts.Task, sc Scale) mem.ObjPtr {
+	raw := graph.Generate(graph.Spec{N: sc.N, AvgDeg: sc.Extra, Seed: 9})
+	return graph.Load(t, raw)
+}
+
+// distChecksum folds the distance array (deterministic across systems and
+// schedules: BFS round structure fixes every distance).
+func distChecksum(t *rts.Task, dist mem.ObjPtr) uint64 {
+	n := seq.Length(t, dist)
+	var sum uint64 = 14695981039346656037
+	for v := 0; v < n; v++ {
+		sum = (sum ^ t.ReadMutWord(dist, v)) * 1099511628211
+	}
+	return sum
+}
+
+// Reachability marks reachable vertices with plain (racy-by-design) reads
+// and writes of a shared flag array: distant non-pointer writes. A vertex
+// may be visited up to P times, but the final flag set is deterministic.
+func Reachability() *Benchmark {
+	return &Benchmark{
+		Name:    "reachability",
+		Default: Scale{N: 1 << 16, Grain: 128, Extra: 16},
+		Paper:   Scale{N: 3_000_000, Grain: 128, Extra: 39},
+		Setup:   bfsGraphSetup,
+		Run: func(t *rts.Task, g mem.ObjPtr, sc Scale) mem.ObjPtr {
+			n := graph.N(t, g)
+			mark := t.PushRoot(&g)
+			flags := t.AllocMut(0, n, mem.TagArrI64)
+			t.PushRoot(&flags)
+			t.WriteNonptr(flags, 0, 1) // source visited
+			bfsRun(t, g, flags, mem.NilPtr, sc.Grain, reachVisit)
+			t.PopRoots(mark)
+			return flags
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return distChecksum(t, out)
+		},
+	}
+}
+
+func reachVisit(t *rts.Task, env mem.ObjPtr, u, v, round uint64) bool {
+	flags := t.ReadImmPtr(env, 1)
+	if t.ReadMutWord(flags, int(v)) == 0 {
+		t.WriteNonptr(flags, int(v), 1)
+		return true
+	}
+	return false
+}
+
+// USP computes unweighted single-source shortest path lengths; visits are
+// claimed exactly once with compare-and-swap and the round number is the
+// distance (distant non-pointer writes).
+func USP() *Benchmark {
+	return &Benchmark{
+		Name:    "usp",
+		Default: Scale{N: 1 << 16, Grain: 128, Extra: 16},
+		Paper:   Scale{N: 3_000_000, Grain: 128, Extra: 39},
+		Setup:   bfsGraphSetup,
+		Run:     uspRun,
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return distChecksum(t, out)
+		},
+	}
+}
+
+func uspRun(t *rts.Task, g mem.ObjPtr, sc Scale) mem.ObjPtr {
+	n := graph.N(t, g)
+	mark := t.PushRoot(&g)
+	dist := t.AllocMut(0, n, mem.TagArrI64)
+	t.PushRoot(&dist)
+	for v := 0; v < n; v++ {
+		t.WriteInitWord(dist, v, notVisited)
+	}
+	t.WriteNonptr(dist, 0, 0)
+	bfsRun(t, g, dist, mem.NilPtr, sc.Grain, uspVisit)
+	t.PopRoots(mark)
+	return dist
+}
+
+func uspVisit(t *rts.Task, env mem.ObjPtr, u, v, round uint64) bool {
+	dist := t.ReadImmPtr(env, 1)
+	return t.CASWord(dist, int(v), notVisited, round)
+}
+
+// USPTree computes all shortest paths as ancestor lists: visiting v along
+// (u,v) records A[v] := u :: A[u]. The cons cell is allocated in the
+// visiting task's leaf heap and immediately written into the distant
+// ancestor array — a distant promoting write on every visit, the paper's
+// near-pessimal case for coarse-grained promotion locking.
+func USPTree() *Benchmark {
+	return &Benchmark{
+		Name:    "usp-tree",
+		Default: Scale{N: 1 << 14, Grain: 128, Extra: 16},
+		Paper:   Scale{N: 3_000_000, Grain: 128, Extra: 39},
+		Setup:   bfsGraphSetup,
+		Run: func(t *rts.Task, g mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return uspTreeRun(t, g, sc)
+		},
+		Check: func(t *rts.Task, env, out mem.ObjPtr, sc Scale) uint64 {
+			return uspTreeChecksum(t, out)
+		},
+	}
+}
+
+// uspTreeRun executes one usp-tree instance; the state arrays are
+// allocated by the calling task, so in multi-instance runs each instance's
+// promotions target its own subtree of the hierarchy.
+func uspTreeRun(t *rts.Task, g mem.ObjPtr, sc Scale) mem.ObjPtr {
+	n := graph.N(t, g)
+	mark := t.PushRoot(&g)
+	visited := t.AllocMut(0, n, mem.TagArrI64)
+	t.PushRoot(&visited)
+	ancestors := t.AllocMut(n, 0, mem.TagArrPtr)
+	t.PushRoot(&ancestors)
+	t.WriteNonptr(visited, 0, 1)
+	bfsRun(t, g, visited, ancestors, sc.Grain, uspTreeVisit)
+	t.PopRoots(mark)
+	return ancestors
+}
+
+func uspTreeVisit(t *rts.Task, env mem.ObjPtr, u, v, round uint64) bool {
+	visited := t.ReadImmPtr(env, 1)
+	if !t.CASWord(visited, int(v), 0, 1) {
+		return false
+	}
+	ancestors := t.ReadImmPtr(env, 2)
+	head := t.ReadMutPtr(ancestors, int(u)) // A[u]
+	m := t.PushRoot(&ancestors, &head)
+	cons := t.Alloc(1, 1, mem.TagCons)
+	t.PopRoots(m)
+	t.WriteInitWord(cons, 0, u)
+	t.WriteInitPtr(cons, 0, head) // head is at or above the cons's heap
+	t.WritePtr(ancestors, int(v), cons)
+	return true
+}
+
+// uspTreeChecksum folds each vertex's ancestor-list length — the shortest
+// path length, which is deterministic even though the lists themselves
+// depend on visit order.
+func uspTreeChecksum(t *rts.Task, ancestors mem.ObjPtr) uint64 {
+	n := seq.Length(t, ancestors)
+	var sum uint64 = 14695981039346656037
+	for v := 0; v < n; v++ {
+		depth := uint64(0)
+		for p := t.ReadMutPtr(ancestors, v); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+			depth++
+		}
+		sum = (sum ^ depth) * 1099511628211
+	}
+	return sum
+}
+
+// MultiUSPTree runs Extra copies of usp-tree in parallel on the same graph
+// (paper: 36 copies). Each instance allocates its own state inside its
+// subtask, so promotions in different instances lock disjoint heaps and
+// can proceed in parallel — the paper's explanation for the recovered
+// speedup.
+func MultiUSPTree() *Benchmark {
+	return &Benchmark{
+		Name:    "multi-usp-tree",
+		Default: Scale{N: 1 << 13, Grain: 128, Extra: 4},
+		Paper:   Scale{N: 3_000_000, Grain: 128, Extra: 36},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			raw := graph.Generate(graph.Spec{N: sc.N, AvgDeg: 16, Seed: 9})
+			return graph.Load(t, raw)
+		},
+		Run: func(t *rts.Task, g mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return multiUSPTree(t, g, 0, sc.Extra, sc)
+		},
+		Check: func(t *rts.Task, env, out mem.ObjPtr, sc Scale) uint64 {
+			// out is a rope of per-instance ancestor arrays.
+			var sum uint64
+			for i := 0; i < sc.Extra; i++ {
+				sum = sum*31 ^ uspTreeChecksum(t, seq.GetPtr(t, out, i))
+			}
+			return sum
+		},
+	}
+}
+
+// multiUSPTree fans the instances out as a balanced fork tree and collects
+// the per-instance ancestor arrays.
+func multiUSPTree(t *rts.Task, g mem.ObjPtr, lo, hi int, sc Scale) mem.ObjPtr {
+	if hi-lo == 1 {
+		mark := t.PushRoot(&g)
+		arr := uspTreeRun(t, g, sc)
+		t.PushRoot(&arr)
+		leaf := seq.NewLeafPtr(t, 1)
+		t.PopRoots(mark)
+		t.WriteInitPtr(leaf, 0, arr)
+		return leaf
+	}
+	mid := lo + (hi-lo)/2
+	l, r := t.ForkJoin(g,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return multiUSPTree(t, env, lo, mid, sc) },
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return multiUSPTree(t, env, mid, hi, sc) })
+	return seq.NewNode(t, l, r)
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+// The imperative benchmarks of §4.2 (not implementable in Manticore).
+
+// MSort is Figure 1's merge sort: imperative in-place quicksort below the
+// grain (paper: 1e7 elements, grain 1e4; representative operation: local
+// non-pointer writes).
+func MSort() *Benchmark {
+	return &Benchmark{
+		Name:    "msort",
+		Default: Scale{N: 1 << 18, Grain: 1 << 10},
+		Paper:   Scale{N: 10_000_000, Grain: 10_000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return msortRope(t, env, sc.Grain, false)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return checkSorted(t, out)
+		},
+	}
+}
+
+// dedupRope sorts and deduplicates: hash-set insertion plus in-place sort
+// below the grain, duplicate-dropping merges at the joins.
+func dedupRope(t *rts.Task, s mem.ObjPtr, grain int) mem.ObjPtr {
+	n := seq.Length(t, s)
+	if n <= grain {
+		flat := seq.ToFlatU64(t, s)
+		return seq.HashDedupSortFlat(t, flat)
+	}
+	l, r := seq.SplitMid(t, s)
+	mark := t.PushRoot(&l, &r)
+	pair := t.Alloc(2, 0, mem.TagTuple)
+	t.PopRoots(mark)
+	t.WriteInitPtr(pair, 0, l)
+	t.WriteInitPtr(pair, 1, r)
+	ls, rs := t.ForkJoin(pair,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr {
+			return dedupRope(t, t.ReadImmPtr(env, 0), grain)
+		},
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr {
+			return dedupRope(t, t.ReadImmPtr(env, 1), grain)
+		})
+	return seq.MergeDedupFlat(t, ls, rs)
+}
+
+// Dedup removes duplicate keys while sorting (paper: 1e7 elements with
+// ~1e6 unique keys — Extra is the duplication factor).
+func Dedup() *Benchmark {
+	return &Benchmark{
+		Name:    "dedup",
+		Default: Scale{N: 1 << 18, Grain: 1 << 10, Extra: 10},
+		Paper:   Scale{N: 10_000_000, Grain: 10_000, Extra: 10},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			unique := uint64(sc.N / sc.Extra)
+			return seq.TabulateU64(t, mem.NilPtr, sc.N, sc.Grain,
+				func(t *rts.Task, _ mem.ObjPtr, i int) uint64 {
+					return seq.Hash64(seq.Hash64(uint64(i)) % unique)
+				})
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return dedupRope(t, env, sc.Grain)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			// Strictly ascending implies both sorted and duplicate-free.
+			n := seq.Length(t, out)
+			var sum uint64 = 14695981039346656037
+			prev := uint64(0)
+			for i := 0; i < n; i++ {
+				v := t.ReadImmWord(out, i)
+				if i > 0 && v <= prev {
+					sum = 0xBAD
+				}
+				sum = (sum ^ v) * 1099511628211
+				prev = v
+			}
+			return sum + uint64(n)<<32
+		},
+	}
+}
+
+// Tourney contestant layout: ptr 0 = parent (the contestant that
+// eliminated this one), word 0 = fitness, word 1 = index.
+//
+// Construction and tournament are fused in one divide-and-conquer pass, so
+// every elimination write targets a contestant already merged into the
+// writing task's heap: the paper's "local non-promoting writes" class.
+// Each subtree returns a pair {winner, digest}.
+
+func tourneyLeaf(t *rts.Task, lo, hi int) mem.ObjPtr {
+	var winner mem.ObjPtr
+	var digest uint64
+	mark := t.PushRoot(&winner)
+	for i := lo; i < hi; i++ {
+		c := t.Alloc(1, 2, mem.TagOther)
+		t.WriteInitWord(c, 0, seq.Hash64(uint64(i)))
+		t.WriteInitWord(c, 1, uint64(i))
+		if winner.IsNil() {
+			winner = c
+			continue
+		}
+		winner, digest = playMatch(t, winner, c, digest)
+	}
+	t.PushRoot(&winner) // keep the winner alive across the pair allocation
+	pair := t.Alloc(1, 1, mem.TagTuple)
+	t.PopRoots(mark)
+	t.WriteInitPtr(pair, 0, winner)
+	t.WriteInitWord(pair, 0, digest)
+	return pair
+}
+
+// playMatch records the loser's eliminator via a mutable pointer write and
+// extends the digest deterministically.
+func playMatch(t *rts.Task, a, b mem.ObjPtr, digest uint64) (mem.ObjPtr, uint64) {
+	fa, fb := t.ReadMutWord(a, 0), t.ReadMutWord(b, 0)
+	winner, loser := a, b
+	if fb > fa || (fb == fa && t.ReadImmWord(b, 1) < t.ReadImmWord(a, 1)) {
+		winner, loser = b, a
+	}
+	t.WritePtr(loser, 0, winner)
+	digest = (digest ^ t.ReadImmWord(loser, 1)) * 1099511628211
+	return winner, digest
+}
+
+func tourneyRec(t *rts.Task, lo, hi, grain int) mem.ObjPtr {
+	if hi-lo <= grain {
+		return tourneyLeaf(t, lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	l, r := t.ForkJoin(mem.NilPtr,
+		func(t *rts.Task, _ mem.ObjPtr) mem.ObjPtr { return tourneyRec(t, lo, mid, grain) },
+		func(t *rts.Task, _ mem.ObjPtr) mem.ObjPtr { return tourneyRec(t, mid, hi, grain) })
+	lw, rw := t.ReadImmPtr(l, 0), t.ReadImmPtr(r, 0)
+	digest := t.ReadImmWord(l, 0)*31 ^ t.ReadImmWord(r, 0)
+	winner, digest := playMatch(t, lw, rw, digest)
+	mark := t.PushRoot(&winner)
+	pair := t.Alloc(1, 1, mem.TagTuple)
+	t.PopRoots(mark)
+	t.WriteInitPtr(pair, 0, winner)
+	t.WriteInitWord(pair, 0, digest)
+	return pair
+}
+
+// Tourney computes a tournament tree over N contestants, mutating a parent
+// pointer at every elimination (paper: 1e8 contestants).
+func Tourney() *Benchmark {
+	return &Benchmark{
+		Name:    "tourney",
+		Default: Scale{N: 1 << 19, Grain: 1 << 10},
+		Paper:   Scale{N: 100_000_000, Grain: 10_000},
+		Setup:   func(t *rts.Task, sc Scale) mem.ObjPtr { return mem.NilPtr },
+		Run: func(t *rts.Task, _ mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return tourneyRec(t, 0, sc.N, sc.Grain)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			winner := t.ReadImmPtr(out, 0)
+			// The champion was never eliminated; everyone else points up a
+			// chain of increasing fitness ending at the champion.
+			if !t.ReadMutPtr(winner, 0).IsNil() {
+				return 0xBAD
+			}
+			return t.ReadImmWord(out, 0) ^ t.ReadMutWord(winner, 0)
+		},
+	}
+}

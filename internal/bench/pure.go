@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+// The purely functional benchmarks of §4.1. All of them are classified as
+// "immutable reads" in Figure 9 and must execute zero promotions under
+// hierarchical heaps.
+
+func seqFib(n uint64) uint64 {
+	if n < 2 {
+		return n
+	}
+	return seqFib(n-1) + seqFib(n-2)
+}
+
+func parFib(t *rts.Task, n, grain uint64) uint64 {
+	if n <= grain {
+		return seqFib(n)
+	}
+	a, b := t.ForkJoinScalar(mem.NilPtr,
+		func(t *rts.Task, _ mem.ObjPtr) uint64 { return parFib(t, n-1, grain) },
+		func(t *rts.Task, _ mem.ObjPtr) uint64 { return parFib(t, n-2, grain) })
+	return a + b
+}
+
+// Fib computes F(N) with sequential threshold Grain (paper: F(42), 25).
+func Fib() *Benchmark {
+	return &Benchmark{
+		Name:    "fib",
+		Pure:    true,
+		Default: Scale{N: 35, Grain: 20},
+		Paper:   Scale{N: 42, Grain: 25},
+		Setup:   func(t *rts.Task, sc Scale) mem.ObjPtr { return mem.NilPtr },
+		Run: func(t *rts.Task, _ mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return boxWord(t, parFib(t, uint64(sc.N), uint64(sc.Grain)))
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return t.ReadImmWord(out, 0)
+		},
+	}
+}
+
+// tabulateInput builds the standard input sequence of hashed 64-bit values.
+func tabulateInput(t *rts.Task, n, grain int) mem.ObjPtr {
+	return seq.TabulateU64(t, mem.NilPtr, n, grain,
+		func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return seq.Hash64(uint64(i)) })
+}
+
+// Tabulate builds a sequence of N hashed values (paper: 1e8, grain 1e4).
+func Tabulate() *Benchmark {
+	return &Benchmark{
+		Name:    "tabulate",
+		Pure:    true,
+		Default: Scale{N: 1 << 21, Grain: 1 << 10},
+		Paper:   Scale{N: 100_000_000, Grain: 10_000},
+		Setup:   func(t *rts.Task, sc Scale) mem.ObjPtr { return mem.NilPtr },
+		Run: func(t *rts.Task, _ mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return seq.Checksum(t, out)
+		},
+	}
+}
+
+// Map applies a simple function to each element of a prebuilt sequence.
+func Map() *Benchmark {
+	return &Benchmark{
+		Name:    "map",
+		Pure:    true,
+		Default: Scale{N: 1 << 21, Grain: 1 << 10},
+		Paper:   Scale{N: 100_000_000, Grain: 10_000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return seq.MapU64(t, env, func(v uint64) uint64 { return v*2654435761 + 1 })
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return seq.Checksum(t, out)
+		},
+	}
+}
+
+// Reduce sums the elements of a prebuilt sequence.
+func Reduce() *Benchmark {
+	return &Benchmark{
+		Name:    "reduce",
+		Pure:    true,
+		Default: Scale{N: 1 << 21, Grain: 1 << 10},
+		Paper:   Scale{N: 100_000_000, Grain: 10_000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			sum := seq.ReduceU64(t, env, 0, func(a, b uint64) uint64 { return a + b })
+			return boxWord(t, sum)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return t.ReadImmWord(out, 0)
+		},
+	}
+}
+
+// Filter keeps the even-hash elements of a prebuilt sequence.
+func Filter() *Benchmark {
+	return &Benchmark{
+		Name:    "filter",
+		Pure:    true,
+		Default: Scale{N: 1 << 21, Grain: 1 << 10},
+		Paper:   Scale{N: 100_000_000, Grain: 10_000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return seq.FilterU64(t, env, func(v uint64) bool { return v&1 == 0 })
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return seq.Checksum(t, out)
+		},
+	}
+}
+
+// msortRope is Figure 1's msort: split to the grain, sort leaves (in-place
+// imperative quicksort, or the allocating pure quicksort for msort-pure),
+// and merge sorted flat arrays at the joins.
+func msortRope(t *rts.Task, s mem.ObjPtr, grain int, pure bool) mem.ObjPtr {
+	n := seq.Length(t, s)
+	if n <= grain {
+		flat := seq.ToFlatU64(t, s)
+		if pure {
+			return seq.PureQSortFlat(t, flat)
+		}
+		seq.QuickSortInPlace(t, flat, 0, n)
+		return flat
+	}
+	l, r := seq.SplitMid(t, s)
+	mark := t.PushRoot(&l, &r)
+	pair := t.Alloc(2, 0, mem.TagTuple)
+	t.PopRoots(mark)
+	t.WriteInitPtr(pair, 0, l)
+	t.WriteInitPtr(pair, 1, r)
+	ls, rs := t.ForkJoin(pair,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr {
+			return msortRope(t, t.ReadImmPtr(env, 0), grain, pure)
+		},
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr {
+			return msortRope(t, t.ReadImmPtr(env, 1), grain, pure)
+		})
+	return seq.MergeFlatSorted(t, ls, rs)
+}
+
+// checkSorted folds a flat array into a checksum, verifying ascending
+// order along the way (a violation poisons the checksum).
+func checkSorted(t *rts.Task, out mem.ObjPtr) uint64 {
+	n := seq.Length(t, out)
+	var sum uint64 = 14695981039346656037
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		v := t.ReadImmWord(out, i)
+		if v < prev {
+			sum = 0xBAD
+		}
+		sum = (sum ^ v) * 1099511628211
+		prev = v
+	}
+	return sum
+}
+
+// MSortPure sorts with a purely functional quicksort base case
+// (paper: 1e7 elements, grain 1e4).
+func MSortPure() *Benchmark {
+	return &Benchmark{
+		Name:    "msort-pure",
+		Pure:    true,
+		Default: Scale{N: 1 << 18, Grain: 1 << 10},
+		Paper:   Scale{N: 10_000_000, Grain: 10_000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			return tabulateInput(t, sc.N, sc.Grain)
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return msortRope(t, env, sc.Grain, true)
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return checkSorted(t, out)
+		},
+	}
+}
+
+// matrix helpers for dmm: a dense matrix is a pointer sequence of flat
+// float64 rows.
+
+func denseMatrix(t *rts.Task, n int, f func(i, j int) float64) mem.ObjPtr {
+	return seq.TabulatePtr(t, mem.NilPtr, n, 8,
+		func(t *rts.Task, _ mem.ObjPtr, i int) mem.ObjPtr {
+			row := seq.NewLeafU64(t, n)
+			for j := 0; j < n; j++ {
+				t.WriteInitWord(row, j, mem.F2W(f(i, j)))
+			}
+			return row
+		})
+}
+
+func matVal(i, j int) float64 {
+	return float64(int64(seq.Hash64(uint64(i*131071+j)))%2048) / 256.0
+}
+
+// DMM multiplies two dense n×n matrices with the naive O(n³) algorithm,
+// one task per result row (paper: n=600, one-row threshold).
+func DMM() *Benchmark {
+	return &Benchmark{
+		Name:    "dmm",
+		Pure:    true,
+		Default: Scale{N: 128, Grain: 1},
+		Paper:   Scale{N: 600, Grain: 1},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			n := sc.N
+			a := denseMatrix(t, n, matVal)
+			mark := t.PushRoot(&a)
+			// B stored transposed so the inner loop runs over flat rows.
+			bt := denseMatrix(t, n, func(i, j int) float64 { return matVal(j, i+7) })
+			t.PushRoot(&bt)
+			env := t.Alloc(2, 0, mem.TagTuple)
+			t.PopRoots(mark)
+			t.WriteInitPtr(env, 0, a)
+			t.WriteInitPtr(env, 1, bt)
+			return env
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			n := sc.N
+			return seq.TabulatePtr(t, env, n, sc.Grain,
+				func(t *rts.Task, env mem.ObjPtr, i int) mem.ObjPtr {
+					a := t.ReadImmPtr(env, 0)
+					bt := t.ReadImmPtr(env, 1)
+					ai := seq.GetPtr(t, a, i)
+					mark := t.PushRoot(&ai, &bt)
+					row := seq.NewLeafU64(t, n)
+					t.PopRoots(mark)
+					for j := 0; j < n; j++ {
+						btj := seq.GetPtr(t, bt, j)
+						var sum float64
+						for k := 0; k < n; k++ {
+							sum += mem.W2F(t.ReadImmWord(ai, k)) * mem.W2F(t.ReadImmWord(btj, k))
+						}
+						t.WriteInitWord(row, j, mem.F2W(sum))
+					}
+					return row
+				})
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			var sum uint64 = 14695981039346656037
+			for i := 0; i < sc.N; i++ {
+				row := seq.GetPtr(t, out, i)
+				for j := 0; j < sc.N; j++ {
+					sum = (sum ^ t.ReadImmWord(row, j)) * 1099511628211
+				}
+			}
+			return sum
+		},
+	}
+}
+
+// SMVM multiplies a sparse matrix (rows of index-value pairs) by a dense
+// vector (paper: n=20000 rows, ~2000 nonzeros per row, one-row threshold).
+// Scale.N is the row/column count; Scale.Extra the nonzeros per row.
+func SMVM() *Benchmark {
+	return &Benchmark{
+		Name:    "smvm",
+		Pure:    true,
+		Default: Scale{N: 2000, Grain: 1, Extra: 200},
+		Paper:   Scale{N: 20_000, Grain: 1, Extra: 2000},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			n, nnz := sc.N, sc.Extra
+			// Sparse rows: nnz (index, value-bits) pairs, indices arbitrary.
+			matrix := seq.TabulatePtr(t, mem.NilPtr, n, 4,
+				func(t *rts.Task, _ mem.ObjPtr, i int) mem.ObjPtr {
+					row := seq.NewLeafU64(t, 2*nnz)
+					for k := 0; k < nnz; k++ {
+						idx := seq.Hash64(uint64(i*nnz+k)) % uint64(n)
+						val := matVal(i, k)
+						t.WriteInitWord(row, 2*k, idx)
+						t.WriteInitWord(row, 2*k+1, mem.F2W(val))
+					}
+					return row
+				})
+			mark := t.PushRoot(&matrix)
+			x := seq.NewLeafU64(t, n) // dense vector, flat for O(1) access
+			t.PushRoot(&x)
+			for i := 0; i < n; i++ {
+				t.WriteInitWord(x, i, mem.F2W(matVal(i, i)))
+			}
+			env := t.Alloc(2, 0, mem.TagTuple)
+			t.PopRoots(mark)
+			t.WriteInitPtr(env, 0, matrix)
+			t.WriteInitPtr(env, 1, x)
+			return env
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return seq.TabulateU64(t, env, sc.N, sc.Grain,
+				func(t *rts.Task, env mem.ObjPtr, i int) uint64 {
+					matrix := t.ReadImmPtr(env, 0)
+					x := t.ReadImmPtr(env, 1)
+					row := seq.GetPtr(t, matrix, i)
+					var sum float64
+					for k, nnz := 0, seq.Length(t, row)/2; k < nnz; k++ {
+						idx := int(t.ReadImmWord(row, 2*k))
+						val := mem.W2F(t.ReadImmWord(row, 2*k+1))
+						sum += val * mem.W2F(t.ReadImmWord(x, idx))
+					}
+					return mem.F2W(sum)
+				})
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return seq.Checksum(t, out)
+		},
+	}
+}

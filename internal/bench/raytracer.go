@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+// A small Whitted-style ray tracer (§4.1's raytracer, adapted in the paper
+// from Manticore's port of an Id program): spheres over a checkered floor,
+// one directional light with hard shadows, rendered by tabulating the
+// pixel sequence in parallel. The scene is static configuration data; all
+// per-pixel work is pure floating-point computation.
+
+type vec3 struct{ x, y, z float64 }
+
+func vadd(a, b vec3) vec3           { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func vsub(a, b vec3) vec3           { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func vscale(a vec3, s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func vdot(a, b vec3) float64        { return a.x*b.x + a.y*b.y + a.z*b.z }
+func vnorm(a vec3) vec3             { return vscale(a, 1/math.Sqrt(vdot(a, a))) }
+
+type sphereObj struct {
+	center vec3
+	radius float64
+	color  vec3
+}
+
+var rtScene = []sphereObj{
+	{vec3{0, 1.0, 4.0}, 1.0, vec3{0.9, 0.2, 0.2}},
+	{vec3{-2.2, 0.8, 5.0}, 0.8, vec3{0.2, 0.9, 0.2}},
+	{vec3{2.1, 0.6, 3.2}, 0.6, vec3{0.2, 0.3, 0.9}},
+	{vec3{-0.9, 0.4, 2.6}, 0.4, vec3{0.9, 0.8, 0.1}},
+	{vec3{1.1, 1.6, 6.0}, 1.2, vec3{0.7, 0.2, 0.8}},
+}
+
+var rtLight = vec3{-0.5772, 0.5772, -0.5772} // toward the light
+
+// intersectSphere returns the nearest positive hit distance or +Inf.
+func intersectSphere(o, d vec3, s sphereObj) float64 {
+	oc := vsub(o, s.center)
+	b := vdot(oc, d)
+	c := vdot(oc, oc) - s.radius*s.radius
+	disc := b*b - c
+	if disc < 0 {
+		return math.Inf(1)
+	}
+	sq := math.Sqrt(disc)
+	if t := -b - sq; t > 1e-4 {
+		return t
+	}
+	if t := -b + sq; t > 1e-4 {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// traceRay shades one primary ray.
+func traceRay(o, d vec3) vec3 {
+	best := math.Inf(1)
+	hit := -1
+	for i, s := range rtScene {
+		if t := intersectSphere(o, d, s); t < best {
+			best, hit = t, i
+		}
+	}
+	// Floor plane y = 0.
+	var floorT = math.Inf(1)
+	if d.y < -1e-6 {
+		floorT = -o.y / d.y
+	}
+
+	switch {
+	case hit >= 0 && best < floorT:
+		s := rtScene[hit]
+		p := vadd(o, vscale(d, best))
+		n := vnorm(vsub(p, s.center))
+		return shade(p, n, s.color)
+	case !math.IsInf(floorT, 1):
+		p := vadd(o, vscale(d, floorT))
+		c := vec3{0.8, 0.8, 0.8}
+		if (int(math.Floor(p.x))+int(math.Floor(p.z)))&1 == 0 {
+			c = vec3{0.25, 0.25, 0.3}
+		}
+		return shade(p, vec3{0, 1, 0}, c)
+	default: // sky gradient
+		k := 0.5 * (d.y + 1)
+		return vec3{0.5 + 0.3*k, 0.7 + 0.2*k, 1.0}
+	}
+}
+
+func shade(p, n, color vec3) vec3 {
+	lambert := vdot(n, rtLight)
+	if lambert < 0 {
+		lambert = 0
+	}
+	// Hard shadow: march toward the light.
+	shadowO := vadd(p, vscale(n, 1e-3))
+	for _, s := range rtScene {
+		if !math.IsInf(intersectSphere(shadowO, rtLight, s), 1) {
+			lambert = 0
+			break
+		}
+	}
+	k := 0.15 + 0.85*lambert
+	return vscale(color, k)
+}
+
+func packRGB(c vec3) uint64 {
+	clamp := func(v float64) uint64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint64(v * 255)
+	}
+	return clamp(c.x)<<16 | clamp(c.y)<<8 | clamp(c.z)
+}
+
+// renderPixel computes pixel i of a side×side image.
+func renderPixel(i, side int) uint64 {
+	x, y := i%side, i/side
+	fx := (float64(x)/float64(side))*2 - 1
+	fy := 1 - (float64(y)/float64(side))*2
+	o := vec3{0, 1.2, -1.5}
+	d := vnorm(vec3{fx, fy * 0.9, 1.4})
+	return packRGB(traceRay(o, d))
+}
+
+// Raytracer renders an N×N scene with pixel-range granularity Grain
+// (paper: 600×600, 300 pixels).
+func Raytracer() *Benchmark {
+	return &Benchmark{
+		Name:    "raytracer",
+		Pure:    true,
+		Default: Scale{N: 256, Grain: 300},
+		Paper:   Scale{N: 600, Grain: 300},
+		Setup:   func(t *rts.Task, sc Scale) mem.ObjPtr { return mem.NilPtr },
+		Run: func(t *rts.Task, _ mem.ObjPtr, sc Scale) mem.ObjPtr {
+			side := sc.N
+			return seq.TabulateU64(t, mem.NilPtr, side*side, sc.Grain,
+				func(t *rts.Task, _ mem.ObjPtr, i int) uint64 {
+					return renderPixel(i, side)
+				})
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			return seq.Checksum(t, out)
+		},
+	}
+}

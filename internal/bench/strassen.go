@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+	"repro/internal/seq"
+)
+
+// Strassen's matrix multiplication on quadtree matrices (§4.1): interior
+// nodes hold four quadrant pointers, leaves are flat row-major float64
+// blocks processed sequentially (paper: n=1024, 64×64 leaves).
+
+const qtNField = 0 // node word 0: dimension
+
+func qtIsLeaf(p mem.ObjPtr) bool { return mem.TagOf(p) == mem.TagArrI64 }
+
+// qtBuild constructs an n×n quadtree with values f(i,j).
+func qtBuild(t *rts.Task, n, leafN, bi, bj int, f func(i, j int) float64) mem.ObjPtr {
+	if n == leafN {
+		leaf := seq.NewLeafU64(t, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				t.WriteInitWord(leaf, i*n+j, mem.F2W(f(bi+i, bj+j)))
+			}
+		}
+		return leaf
+	}
+	node := t.Alloc(4, 1, mem.TagOther)
+	t.WriteInitWord(node, qtNField, uint64(n))
+	mark := t.PushRoot(&node)
+	h := n / 2
+	offs := [4][2]int{{0, 0}, {0, h}, {h, 0}, {h, h}}
+	for q := 0; q < 4; q++ {
+		c := qtBuild(t, h, leafN, bi+offs[q][0], bj+offs[q][1], f)
+		t.WriteInitPtr(node, q, c)
+	}
+	t.PopRoots(mark)
+	return node
+}
+
+// qtAdd returns a ± b elementwise.
+func qtAdd(t *rts.Task, a, b mem.ObjPtr, sub bool) mem.ObjPtr {
+	if qtIsLeaf(a) {
+		n2 := seq.Length(t, a)
+		mark := t.PushRoot(&a, &b)
+		dst := seq.NewLeafU64(t, n2)
+		t.PopRoots(mark)
+		for i := 0; i < n2; i++ {
+			va, vb := mem.W2F(t.ReadImmWord(a, i)), mem.W2F(t.ReadImmWord(b, i))
+			if sub {
+				t.WriteInitWord(dst, i, mem.F2W(va-vb))
+			} else {
+				t.WriteInitWord(dst, i, mem.F2W(va+vb))
+			}
+		}
+		return dst
+	}
+	n := t.ReadImmWord(a, qtNField)
+	mark := t.PushRoot(&a, &b)
+	node := t.Alloc(4, 1, mem.TagOther)
+	t.PushRoot(&node)
+	t.WriteInitWord(node, qtNField, n)
+	for q := 0; q < 4; q++ {
+		c := qtAdd(t, t.ReadImmPtr(a, q), t.ReadImmPtr(b, q), sub)
+		t.WriteInitPtr(node, q, c)
+	}
+	t.PopRoots(mark)
+	return node
+}
+
+// qtMulLeaf multiplies two leaf blocks with the classic triple loop.
+func qtMulLeaf(t *rts.Task, a, b mem.ObjPtr) mem.ObjPtr {
+	n2 := seq.Length(t, a)
+	n := 1
+	for n*n < n2 {
+		n *= 2
+	}
+	mark := t.PushRoot(&a, &b)
+	dst := seq.NewLeafU64(t, n2)
+	t.PopRoots(mark)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += mem.W2F(t.ReadImmWord(a, i*n+k)) * mem.W2F(t.ReadImmWord(b, k*n+j))
+			}
+			t.WriteInitWord(dst, i*n+j, mem.F2W(sum))
+		}
+	}
+	return dst
+}
+
+// strassenMul multiplies two quadtrees, forking the seven products.
+func strassenMul(t *rts.Task, a, b mem.ObjPtr) mem.ObjPtr {
+	if qtIsLeaf(a) {
+		return qtMulLeaf(t, a, b)
+	}
+	n := t.ReadImmWord(a, qtNField)
+	mark := t.PushRoot(&a, &b)
+	ops := t.Alloc(14, 0, mem.TagArrPtr) // operand pairs for M1..M7
+	t.PushRoot(&ops)
+
+	// Quadrants are re-read from the rooted a/b before each use.
+	q := func(m mem.ObjPtr, i int) mem.ObjPtr { return t.ReadImmPtr(m, i) }
+	set := func(slot int, p mem.ObjPtr) { t.WriteInitPtr(ops, slot, p) }
+
+	set(0, qtAdd(t, q(a, 0), q(a, 3), false)) // M1 = (A11+A22)(B11+B22)
+	set(1, qtAdd(t, q(b, 0), q(b, 3), false))
+	set(2, qtAdd(t, q(a, 2), q(a, 3), false)) // M2 = (A21+A22) B11
+	set(3, q(b, 0))
+	set(4, q(a, 0)) // M3 = A11 (B12−B22)
+	set(5, qtAdd(t, q(b, 1), q(b, 3), true))
+	set(6, q(a, 3)) // M4 = A22 (B21−B11)
+	set(7, qtAdd(t, q(b, 2), q(b, 0), true))
+	set(8, qtAdd(t, q(a, 0), q(a, 1), false)) // M5 = (A11+A12) B22
+	set(9, q(b, 3))
+	set(10, qtAdd(t, q(a, 2), q(a, 0), true)) // M6 = (A21−A11)(B11+B12)
+	set(11, qtAdd(t, q(b, 0), q(b, 1), false))
+	set(12, qtAdd(t, q(a, 1), q(a, 3), true)) // M7 = (A12−A22)(B21+B22)
+	set(13, qtAdd(t, q(b, 2), q(b, 3), false))
+
+	products := seq.TabulatePtr(t, ops, 7, 1,
+		func(t *rts.Task, env mem.ObjPtr, i int) mem.ObjPtr {
+			return strassenMul(t, t.ReadImmPtr(env, 2*i), t.ReadImmPtr(env, 2*i+1))
+		})
+	t.PushRoot(&products)
+
+	res := t.Alloc(4, 1, mem.TagOther)
+	t.PushRoot(&res)
+	t.WriteInitWord(res, qtNField, n)
+	t.WriteInitPtr(res, 0, qtCombo(t, products, []int{0, 3, 6}, []int{4})) // C11 = M1+M4−M5+M7
+	t.WriteInitPtr(res, 1, qtCombo(t, products, []int{2, 4}, nil))         // C12 = M3+M5
+	t.WriteInitPtr(res, 2, qtCombo(t, products, []int{1, 3}, nil))         // C21 = M2+M4
+	t.WriteInitPtr(res, 3, qtCombo(t, products, []int{0, 2, 5}, []int{1})) // C22 = M1−M2+M3+M6
+	t.PopRoots(mark)
+	return res
+}
+
+// qtCombo sums/differences the listed products.
+func qtCombo(t *rts.Task, products mem.ObjPtr, plus, minus []int) mem.ObjPtr {
+	mark := t.PushRoot(&products)
+	acc := seq.GetPtr(t, products, plus[0])
+	t.PushRoot(&acc)
+	for _, i := range plus[1:] {
+		acc = qtAdd(t, acc, seq.GetPtr(t, products, i), false)
+	}
+	for _, i := range minus {
+		acc = qtAdd(t, acc, seq.GetPtr(t, products, i), true)
+	}
+	t.PopRoots(mark)
+	return acc
+}
+
+// qtChecksum folds a quadtree's values.
+func qtChecksum(t *rts.Task, m mem.ObjPtr, sum *uint64) {
+	if qtIsLeaf(m) {
+		for i, n := 0, seq.Length(t, m); i < n; i++ {
+			*sum = (*sum ^ t.ReadImmWord(m, i)) * 1099511628211
+		}
+		return
+	}
+	for q := 0; q < 4; q++ {
+		qtChecksum(t, t.ReadImmPtr(m, q), sum)
+	}
+}
+
+// Strassen multiplies two N×N quadtree matrices (paper: 1024, leaf 64).
+// Scale.Grain is the leaf block dimension.
+func Strassen() *Benchmark {
+	return &Benchmark{
+		Name:    "strassen",
+		Pure:    true,
+		Default: Scale{N: 128, Grain: 32},
+		Paper:   Scale{N: 1024, Grain: 64},
+		Setup: func(t *rts.Task, sc Scale) mem.ObjPtr {
+			a := qtBuild(t, sc.N, sc.Grain, 0, 0, matVal)
+			mark := t.PushRoot(&a)
+			b := qtBuild(t, sc.N, sc.Grain, 0, 0, func(i, j int) float64 { return matVal(j+3, i) })
+			t.PushRoot(&b)
+			env := t.Alloc(2, 0, mem.TagTuple)
+			t.PopRoots(mark)
+			t.WriteInitPtr(env, 0, a)
+			t.WriteInitPtr(env, 1, b)
+			return env
+		},
+		Run: func(t *rts.Task, env mem.ObjPtr, sc Scale) mem.ObjPtr {
+			return strassenMul(t, t.ReadImmPtr(env, 0), t.ReadImmPtr(env, 1))
+		},
+		Check: func(t *rts.Task, _, out mem.ObjPtr, sc Scale) uint64 {
+			var sum uint64 = 14695981039346656037
+			qtChecksum(t, out, &sum)
+			return sum
+		},
+	}
+}

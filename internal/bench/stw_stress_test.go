@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/rts"
+)
+
+// TestSTWForkSafePointRooting is a regression test for a rooting bug: the
+// fork path parked at its stop-the-world safe point before registering the
+// frame environment, so a collection triggered by another worker at that
+// exact moment reclaimed (or moved) the env tuple out from under the fork.
+// An extremely low STW floor makes collections near-continuous, hitting
+// the window with high probability across iterations.
+func TestSTWForkSafePointRooting(t *testing.T) {
+	b := MSortPure()
+	sc := Scale{N: 1 << 14, Grain: 1 << 7}
+	cfg := rts.DefaultConfig(rts.STW, 2)
+	cfg.STWFloorBytes = 1 << 16 // collect constantly
+	want := Run(b, rts.DefaultConfig(rts.Seq, 1), sc).Checksum
+	for i := 0; i < 8; i++ {
+		res := Run(b, cfg, sc)
+		if res.Checksum != want {
+			t.Fatalf("iter %d: checksum %x, want %x", i, res.Checksum, want)
+		}
+		if res.Totals.GC.Collections == 0 {
+			t.Fatal("stress config did not trigger collections")
+		}
+	}
+}

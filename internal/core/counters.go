@@ -1,0 +1,93 @@
+package core
+
+// Counters tallies memory operations by the cost classes of Figure 8.
+// Each task owns a Counters and merges it into the runtime total when it
+// completes, so hot paths never touch shared cache lines.
+type Counters struct {
+	Allocs     int64
+	AllocWords int64
+
+	ReadImm int64 // immutable reads: single instruction, no barrier
+
+	ReadMutFast int64 // mutable reads that hit the no-forwarding fast path
+	ReadMutSlow int64 // mutable reads redirected to a master copy
+
+	WriteNonptrLocal   int64 // optimistic non-pointer writes to the task's own heap
+	WriteNonptrDistant int64 // optimistic non-pointer writes to ancestor heaps
+	WriteNonptrSlow    int64 // non-pointer writes redirected to a master copy
+
+	WriteInit int64 // initializing writes into fresh objects
+
+	WritePtrFast    int64 // pointer writes to local, unforwarded objects
+	WritePtrNonProm int64 // distant pointer writes that did not promote
+	WritePtrProm    int64 // pointer writes that triggered promotion
+
+	CASFast int64 // compare-and-swap on unforwarded objects
+	CASSlow int64 // compare-and-swap redirected to a master copy
+
+	Promotions        int64 // writePromote invocations
+	PromotedObjects   int64 // objects copied upward
+	PromotedWords     int64 // words copied upward
+	FindMasterRetries int64 // double-checked locking retries
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Allocs += o.Allocs
+	c.AllocWords += o.AllocWords
+	c.ReadImm += o.ReadImm
+	c.ReadMutFast += o.ReadMutFast
+	c.ReadMutSlow += o.ReadMutSlow
+	c.WriteNonptrLocal += o.WriteNonptrLocal
+	c.WriteNonptrDistant += o.WriteNonptrDistant
+	c.WriteNonptrSlow += o.WriteNonptrSlow
+	c.WriteInit += o.WriteInit
+	c.WritePtrFast += o.WritePtrFast
+	c.WritePtrNonProm += o.WritePtrNonProm
+	c.WritePtrProm += o.WritePtrProm
+	c.CASFast += o.CASFast
+	c.CASSlow += o.CASSlow
+	c.Promotions += o.Promotions
+	c.PromotedObjects += o.PromotedObjects
+	c.PromotedWords += o.PromotedWords
+	c.FindMasterRetries += o.FindMasterRetries
+}
+
+// PromotedBytes reports the bytes copied by promotions.
+func (c *Counters) PromotedBytes() int64 { return c.PromotedWords * 8 }
+
+// Representative returns the name of the dominant mutable-operation class,
+// used to regenerate the paper's Figure 9. Immutable reads are pervasive in
+// every benchmark (footnote 1 in the paper), so they are reported only when
+// no mutation happened at all. Promoting writes are orders of magnitude
+// more expensive than the optimistic classes (Figure 8) and serialize
+// through heap locks, so they dominate behaviour well before they dominate
+// counts: one percent of the mutable operations suffices.
+func (c *Counters) Representative() string {
+	type cls struct {
+		name string
+		n    int64
+	}
+	classes := []cls{
+		{"local non-pointer writes", c.WriteNonptrLocal},
+		{"local non-promoting writes", c.WritePtrFast},
+		{"distant non-pointer writes", c.WriteNonptrDistant + c.WriteNonptrSlow + c.CASFast + c.CASSlow},
+		{"distant non-promoting writes", c.WritePtrNonProm},
+		{"distant promoting writes", c.WritePtrProm},
+	}
+	var total int64
+	best := cls{"immutable reads", 0}
+	for _, cl := range classes {
+		total += cl.n
+		if cl.n > best.n {
+			best = cl
+		}
+	}
+	if total == 0 {
+		return "immutable reads"
+	}
+	if c.WritePtrProm > 0 && c.WritePtrProm*100 >= total {
+		return "distant promoting writes"
+	}
+	return best.name
+}

@@ -1,0 +1,22 @@
+// Package core implements the paper's primary contribution: the high-level
+// memory operations of Figure 3 realized over hierarchical heaps with
+// support for mutable state (Figures 5–7).
+//
+// The central invariant is disentanglement: a pointer stored in heap h may
+// only refer to objects in h or its ancestors. Reads of immutable data are
+// plain loads (no barrier). Mutable accesses honor the master-copy
+// discipline: when promotion has duplicated an object, its copies form a
+// forwarding-pointer chain whose last element — the copy in the shallowest
+// heap — is authoritative. FindMaster walks the chain with double-checked
+// read locking; reads and non-pointer writes use optimistic fast paths that
+// touch the master only when a forwarding pointer is present.
+//
+// WritePtr is the interesting case: storing a pointer to a deeper object
+// into a shallower one would create a down-pointer, so the pointee and
+// everything reachable from it is first promoted (copied) into the target
+// heap under write locks acquired on the heap path from the pointee's heap
+// up to the master's heap, deepest first (deadlock-free by hierarchy).
+//
+// All operations count themselves into per-task Counters so the evaluation
+// can report the Figure 8/9 operation taxonomy.
+package core

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// IsAncestorOrSelf reports whether anc is h or an ancestor of h in the
+// heap hierarchy (both resolved through joins).
+func IsAncestorOrSelf(anc, h *heap.Heap) bool {
+	anc = anc.Resolve()
+	for x := h.Resolve(); x != nil; x = x.Parent() {
+		if x == anc {
+			return true
+		}
+		if x.Depth() < anc.Depth() {
+			return false
+		}
+	}
+	return false
+}
+
+// EntanglementError describes a pointer that violates disentanglement.
+type EntanglementError struct {
+	From, To         mem.ObjPtr
+	FromHeap, ToHeap *heap.Heap
+	Field            int
+}
+
+func (e *EntanglementError) Error() string {
+	return fmt.Sprintf("entangled pointer: %v (in %v) field %d -> %v (in %v): target heap is not an ancestor",
+		e.From, e.FromHeap, e.Field, e.To, e.ToHeap)
+}
+
+// CheckHeap walks every object in h's chunks and verifies that each pointer
+// field refers to an object in h or one of h's ancestors — the
+// disentanglement invariant (§2). It is a debugging and testing oracle;
+// the hierarchy must be quiescent while it runs.
+func CheckHeap(h *heap.Heap) error {
+	h = h.Resolve()
+	for c := h.Chunks(); c != nil; c = c.Next {
+		for off := uint32(0); off < c.Used(); {
+			p := mem.MakeObjPtr(c.ID(), off)
+			for i, n := 0, mem.NumPtrFields(p); i < n; i++ {
+				q := mem.LoadPtrFieldAtomic(p, i)
+				if q.IsNil() {
+					continue
+				}
+				hq := heap.Of(q)
+				if !IsAncestorOrSelf(hq, h) {
+					return &EntanglementError{From: p, To: q, FromHeap: h, ToHeap: hq, Field: i}
+				}
+			}
+			off += uint32(mem.SizeWords(p))
+		}
+	}
+	return nil
+}
+
+// CheckSubtree verifies disentanglement for a heap and, recursively, the
+// given descendant heaps (callers supply the live descendants, since the
+// hierarchy does not keep downward links).
+func CheckSubtree(heaps ...*heap.Heap) error {
+	for _, h := range heaps {
+		if !h.IsAlive() {
+			continue
+		}
+		if err := CheckHeap(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// Alloc allocates a fresh object in the task's current heap (Figure 6,
+// alloc): the caller passes its current — necessarily leaf — heap.
+func Alloc(cur *heap.Heap, ops *Counters, numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+	ops.Allocs++
+	ops.AllocWords += int64(mem.ObjectWords(numPtr, numNonptr))
+	return cur.FreshObj(numPtr, numNonptr, tag)
+}
+
+// ReadImmWord reads an immutable non-pointer field: a plain load with no
+// barrier of any kind. All copies of an object agree on immutable fields,
+// so forwarding pointers are irrelevant here (Figure 6, readImmutable).
+func ReadImmWord(ops *Counters, p mem.ObjPtr, i int) uint64 {
+	ops.ReadImm++
+	return mem.LoadWordField(p, i)
+}
+
+// ReadImmPtr reads an immutable pointer field with a plain load.
+func ReadImmPtr(ops *Counters, p mem.ObjPtr, i int) mem.ObjPtr {
+	ops.ReadImm++
+	return mem.LoadPtrField(p, i)
+}
+
+// FindMaster walks obj's forwarding chain to the master copy and returns it
+// with its heap READ-locked; the caller must Unlock the returned heap
+// (Figure 6, findMaster). The double-checked pattern walks without locking,
+// locks the candidate's heap in shared mode, and retries if a promotion
+// installed a forwarding pointer in the meantime.
+func FindMaster(ops *Counters, obj mem.ObjPtr) (mem.ObjPtr, *heap.Heap) {
+	for {
+		for {
+			f := mem.LoadFwd(obj)
+			if f.IsNil() {
+				break
+			}
+			obj = f
+		}
+		h := heap.Of(obj)
+		h.Lock(heap.READ)
+		if !mem.HasFwd(obj) {
+			return obj, h
+		}
+		h.Unlock()
+		ops.FindMasterRetries++
+	}
+}
+
+// ReadMutWord reads a mutable non-pointer field (Figure 6, readMutable).
+// Fast path: read optimistically, then check for a forwarding pointer;
+// objects that were never promoted pay a couple of instructions.
+func ReadMutWord(ops *Counters, p mem.ObjPtr, i int) uint64 {
+	res := mem.LoadWordFieldAtomic(p, i)
+	if !mem.HasFwd(p) {
+		ops.ReadMutFast++
+		return res
+	}
+	ops.ReadMutSlow++
+	m, h := FindMaster(ops, p)
+	res = mem.LoadWordFieldAtomic(m, i)
+	h.Unlock()
+	return res
+}
+
+// ReadMutPtr reads a mutable pointer field with the same discipline.
+func ReadMutPtr(ops *Counters, p mem.ObjPtr, i int) mem.ObjPtr {
+	res := mem.LoadPtrFieldAtomic(p, i)
+	if !mem.HasFwd(p) {
+		ops.ReadMutFast++
+		return res
+	}
+	ops.ReadMutSlow++
+	m, h := FindMaster(ops, p)
+	res = mem.LoadPtrFieldAtomic(m, i)
+	h.Unlock()
+	return res
+}
+
+// WriteNonptr writes a mutable non-pointer field (Figure 6, writeNonptr).
+// Non-pointer data can never entangle the hierarchy, so the write proceeds
+// optimistically; if the object turns out to have been promoted, the write
+// is repeated on the master copy. The fwd-install-before-copy ordering in
+// promotion guarantees no update is lost: either the promotion's copy sees
+// our optimistic store, or we see its forwarding pointer and rewrite the
+// master (whose heap lock we wait on until the promotion finishes).
+func WriteNonptr(cur *heap.Heap, ops *Counters, p mem.ObjPtr, i int, v uint64) {
+	mem.StoreWordFieldAtomic(p, i, v)
+	if !mem.HasFwd(p) {
+		// The local/distant distinction is bookkeeping for the Figure 9
+		// taxonomy; the write itself took the same optimistic fast path
+		// either way.
+		if heap.Of(p) == cur {
+			ops.WriteNonptrLocal++
+		} else {
+			ops.WriteNonptrDistant++
+		}
+		return
+	}
+	ops.WriteNonptrSlow++
+	m, h := FindMaster(ops, p)
+	mem.StoreWordFieldAtomic(m, i, v)
+	h.Unlock()
+}
+
+// CASWord performs a compare-and-swap on a mutable non-pointer field.
+//
+// Unlike plain writes, a compare-and-swap cannot use the optimistic
+// write-then-recheck pattern: if a promotion snapshots the field between
+// the optimistic CAS and its forwarding check, the operation cannot tell
+// whether its transition survived on the master, and callers that retry on
+// failure would double-apply. Two linearizable paths remain:
+//
+//   - objects in the hierarchy root (depth 0) can never be promoted —
+//     nothing is shallower — so a direct CAS is safe. This covers the
+//     benchmarks' usage (visited arrays and counters allocated at the
+//     root before the parallel phase), and DLG-style runtimes where all
+//     mutable objects live in the global heap.
+//   - otherwise the CAS executes on the master copy under its heap's read
+//     lock, which excludes in-flight promotions of the master.
+func CASWord(ops *Counters, p mem.ObjPtr, i int, old, new uint64) bool {
+	if heap.Of(p).Depth() == 0 {
+		ops.CASFast++
+		return mem.CASWordField(p, i, old, new)
+	}
+	ops.CASSlow++
+	m, h := FindMaster(ops, p)
+	ok := mem.CASWordField(m, i, old, new)
+	h.Unlock()
+	return ok
+}
+
+// WriteInitWord performs an initializing store into a freshly allocated
+// object that has not yet been shared. Array construction (e.g. parallel
+// tabulation of numeric sequences) uses this; it is not mutation, which is
+// why the paper's pure benchmarks are all classed as "immutable reads".
+func WriteInitWord(ops *Counters, p mem.ObjPtr, i int, v uint64) {
+	ops.WriteInit++
+	mem.StoreWordField(p, i, v)
+}
+
+// WriteInitPtr performs an initializing pointer store. The caller asserts
+// that the store cannot entangle the hierarchy (the value lives in the same
+// heap as the object, or an ancestor of it). The disentanglement checker
+// verifies this in tests.
+func WriteInitPtr(ops *Counters, p mem.ObjPtr, i int, q mem.ObjPtr) {
+	ops.WriteInit++
+	mem.StorePtrField(p, i, q)
+}
+
+// WritePtr writes a mutable pointer field (Figure 7, writePtr). The fast
+// path covers objects in the current task's own (leaf) heap with no
+// forwarding pointer — promotion is impossible there. Otherwise the master
+// copy decides: if it is at least as deep as the pointee the write cannot
+// entangle and proceeds under the read lock; if it is shallower, the
+// pointee must first be promoted into the master's heap.
+func WritePtr(cur *heap.Heap, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	if heap.Of(obj) == cur && !mem.HasFwd(obj) {
+		ops.WritePtrFast++
+		mem.StorePtrFieldAtomic(obj, field, ptr)
+		return
+	}
+	WritePtrSlow(ops, obj, field, ptr)
+}
+
+// WritePtrSlow is WritePtr without the local fast path: every write goes
+// through the master-copy lookup. It exists as an ablation knob (the
+// paper's implementation "prioritizes the efficiency of updates to local
+// objects"; this measures what that priority buys) and as the write path
+// for contexts with no current-heap notion.
+func WritePtrSlow(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	m, h := FindMaster(ops, obj)
+	if ptr.IsNil() || h.Depth() >= heap.Of(ptr).Depth() {
+		ops.WritePtrNonProm++
+		mem.StorePtrFieldAtomic(m, field, ptr)
+		h.Unlock()
+		return
+	}
+	h.Unlock()
+	ops.WritePtrProm++
+	writePromote(ops, m, field, ptr)
+}

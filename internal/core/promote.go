@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// writePromote implements the promoting pointer write (Figure 7,
+// writePromote). Three phases:
+//
+//  1. Write-lock every heap on the path from heapOf(ptr) up to the heap of
+//     obj's master copy, deepest first. If obj gains a forwarding pointer
+//     while we climb (a racing promotion moved it higher), keep locking
+//     upward to the new master. Locking the intermediate heaps takes
+//     ownership of the forwarding words of everything we may copy; locking
+//     the target keeps concurrent findMaster calls from returning until the
+//     promotion is complete.
+//  2. Promote ptr's object graph into the master's heap and store the
+//     promoted pointer into the field.
+//  3. Unlock the path, shallowest first.
+//
+// Deadlock freedom: all multi-heap acquisitions in the system climb the
+// hierarchy bottom-up, and lock waits therefore only target heaps strictly
+// shallower than any lock held.
+func writePromote(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	src := heap.Of(ptr)
+	target := heap.Of(obj)
+	if target.Depth() >= src.Depth() {
+		panic(fmt.Sprintf("core: writePromote precondition violated: target depth %d >= source depth %d",
+			target.Depth(), src.Depth()))
+	}
+
+	locked := make([]*heap.Heap, 0, src.Depth()-target.Depth()+1)
+	src.Lock(heap.WRITE)
+	locked = append(locked, src)
+	prevTop := src
+	for {
+		for h := prevTop.Parent(); ; h = h.Parent() {
+			if h == nil {
+				panic("core: promotion target is not an ancestor of the pointee's heap")
+			}
+			h.Lock(heap.WRITE)
+			locked = append(locked, h)
+			if h == target {
+				break
+			}
+		}
+		if !mem.HasFwd(obj) {
+			break
+		}
+		// A racing promotion forwarded obj higher up; follow it and extend
+		// the locked path to the new master's heap.
+		prevTop = target
+		obj = mem.LoadFwd(obj)
+		target = heap.Of(obj)
+	}
+
+	promoted := promote(ops, target, ptr)
+	mem.StorePtrFieldAtomic(obj, field, promoted)
+	ops.Promotions++
+
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].Unlock()
+	}
+}
+
+// promote copies the object graph reachable from p into target (or reuses
+// copies already at or above target) and returns the promoted pointer
+// (Figure 7, promote). The paper presents it recursively; as it notes, the
+// forwarding pointer is installed before any children are visited, which
+// permits this worklist formulation: chase-and-copy each root, then scan
+// the pointer fields of freshly made copies, replacing each with its own
+// chased copy.
+//
+// The caller holds WRITE locks on every heap between (and including) p's
+// heap and target, so all forwarding installations and field fix-ups here
+// are protected.
+func promote(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
+	td := target.Depth()
+	var scan []mem.ObjPtr
+	res := chaseCopy(ops, target, td, p, &scan)
+	for len(scan) > 0 {
+		o := scan[len(scan)-1]
+		scan = scan[:len(scan)-1]
+		for i, n := 0, mem.NumPtrFields(o); i < n; i++ {
+			q := mem.LoadPtrField(o, i)
+			if q.IsNil() {
+				continue
+			}
+			mem.StorePtrField(o, i, chaseCopy(ops, target, td, q, &scan))
+		}
+	}
+	return res
+}
+
+// chaseCopy resolves one object for promotion into target: objects already
+// at or above target are used as-is; forwarding chains are followed; and a
+// still-deep, unforwarded object is shallow-copied into target with its
+// forwarding pointer installed before the copy (so racing optimistic
+// writers can detect and redirect their updates).
+func chaseCopy(ops *Counters, target *heap.Heap, td int32, q mem.ObjPtr, scan *[]mem.ObjPtr) mem.ObjPtr {
+	for {
+		if heap.Of(q).Depth() <= td {
+			return q
+		}
+		if f := mem.LoadFwd(q); !f.IsNil() {
+			q = f
+			continue
+		}
+		numPtr, numNonptr, tag := mem.NumPtrFields(q), mem.NumNonptrWords(q), mem.TagOf(q)
+		fresh := target.FreshObj(numPtr, numNonptr, tag)
+		mem.StoreFwd(q, fresh)
+		mem.CopyBody(fresh, q)
+		ops.PromotedObjects++
+		ops.PromotedWords += int64(mem.ObjectWords(numPtr, numNonptr))
+		*scan = append(*scan, fresh)
+		return fresh
+	}
+}
+
+// PromoteTo copies the object graph reachable from p into target under the
+// target heap's write lock, returning the promoted pointer. This entry
+// point serves runtimes that promote eagerly on communication (the
+// DLG/Manticore-style baseline), where the source heaps are quiescent and
+// only the destination needs mutual exclusion.
+func PromoteTo(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
+	if p.IsNil() {
+		return p
+	}
+	target.Lock(heap.WRITE)
+	res := promote(ops, target, p)
+	target.Unlock()
+	return res
+}

@@ -1,0 +1,27 @@
+// Package gc implements the promotion-aware semispace collection of the
+// paper's Appendix A.
+//
+// A collection targets a zone: a heap and (optionally) its live
+// descendants, each of which gets a to-space twin. Objects reachable from
+// the registered roots are copied Cheney-style into the twins. The
+// promotion-awareness is in how forwarding chains are treated:
+//
+//  1. a chain leading into a to-space is a copy made by this collection —
+//     reuse it;
+//  2. a chain leading into a from-space strictly above the zone is a copy
+//     made by an earlier promotion — reuse it, thereby eliminating the
+//     duplicate left behind in the zone;
+//  3. a chain ending at an unforwarded object inside the zone means the
+//     object is live and still local — copy it into its heap's twin.
+//
+// Because the collector never follows forwarding pointers of objects
+// outside the zone, no heap locks are required: disentanglement guarantees
+// nothing outside the zone references into it, and the zone's tasks are
+// suspended (a leaf collection is run by the leaf's own task at an
+// allocation safe point).
+//
+// The package also provides the collection trigger policy and the
+// stop-the-world whole-heap collection used by the sequential and
+// Spoonhower-style baseline runtimes, which is the same copier with a zone
+// covering every allocation region.
+package gc

@@ -1,0 +1,198 @@
+// Package graph provides the directed-graph substrate for the BFS
+// benchmarks (§4.2). The paper uses the orkut social network (≈3M
+// vertices, 117M edges, diameter 9); that dataset is proprietary-hosted
+// and far beyond this machine, so Generate produces a synthetic stand-in
+// with the properties BFS behaviour depends on: a skewed (RMAT-style)
+// degree distribution, guaranteed connectivity, and a small diameter.
+// Graphs are generated in plain Go during benchmark setup (untimed) and
+// loaded into the managed heap in the compact adjacency-sequence (CSR)
+// format the paper describes.
+package graph
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// Spec parameterizes the generator.
+type Spec struct {
+	N      int // vertices (rounded up to a power of two internally)
+	AvgDeg int // average out-degree contributed by RMAT edges
+	Seed   uint64
+}
+
+// Raw is a host-side adjacency-list graph.
+type Raw struct {
+	N   int
+	Adj [][]int32
+}
+
+// splitmix64 is the deterministic generator used throughout.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Generate builds the synthetic graph: a random-attachment backbone (each
+// vertex links to one random earlier vertex, giving connectivity and a
+// logarithmic diameter like orkut's) plus RMAT-sampled edges (quadrant
+// probabilities 0.57/0.19/0.19/0.05) for the power-law degree skew. All
+// edges are added in both directions.
+func Generate(spec Spec) *Raw {
+	n := 1
+	for n < spec.N {
+		n <<= 1
+	}
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	g := &Raw{N: n, Adj: make([][]int32, n)}
+	state := spec.Seed*2 + 1
+
+	addEdge := func(u, v int32) {
+		if u == v {
+			return
+		}
+		g.Adj[u] = append(g.Adj[u], v)
+		g.Adj[v] = append(g.Adj[v], u)
+	}
+
+	// Backbone: connectivity with O(log n) diameter.
+	for v := 1; v < n; v++ {
+		u := int32(splitmix64(&state) % uint64(v))
+		addEdge(u, int32(v))
+	}
+	// RMAT edges.
+	edges := n * spec.AvgDeg / 2
+	for e := 0; e < edges; e++ {
+		var u, v int32
+		for bit := 0; bit < logN; bit++ {
+			r := splitmix64(&state) % 100
+			switch {
+			case r < 57: // quadrant a: (0,0)
+			case r < 76: // b: (0,1)
+				v |= 1 << bit
+			case r < 95: // c: (1,0)
+				u |= 1 << bit
+			default: // d: (1,1)
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		addEdge(u, v)
+	}
+	return g
+}
+
+// Edges returns the total directed edge count.
+func (g *Raw) Edges() int {
+	m := 0
+	for _, adj := range g.Adj {
+		m += len(adj)
+	}
+	return m
+}
+
+// MaxDegree returns the largest out-degree (degree-skew sanity checks).
+func (g *Raw) MaxDegree() int {
+	best := 0
+	for _, adj := range g.Adj {
+		if len(adj) > best {
+			best = len(adj)
+		}
+	}
+	return best
+}
+
+// RefBFS computes single-source shortest hop counts in plain Go, for
+// validating the managed-heap BFS variants. Unreached vertices get -1.
+func RefBFS(g *Raw, src int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int32{src}
+	for round := int32(1); len(frontier) > 0; round++ {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if dist[v] < 0 {
+					dist[v] = round
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Diameter returns the eccentricity of vertex 0 (a diameter lower bound;
+// used by the hhgraph tool to confirm the orkut-like small diameter).
+func Diameter(g *Raw) int {
+	dist := RefBFS(g, 0)
+	best := int32(0)
+	for _, d := range dist {
+		if d > best {
+			best = d
+		}
+	}
+	return int(best)
+}
+
+// CSR field layout of the managed graph tuple:
+//
+//	ptr 0: offsets array (N+1 words)
+//	ptr 1: targets array (M words)
+//	word 0: N, word 1: M
+const (
+	fieldOffsets = 0
+	fieldTargets = 1
+	fieldN       = 0
+	fieldM       = 1
+)
+
+// Load copies the graph into the managed heap as a CSR tuple. Run it in
+// the benchmark's setup phase.
+func Load(t *rts.Task, g *Raw) mem.ObjPtr {
+	n, m := g.N, g.Edges()
+	offs := t.Alloc(0, n+1, mem.TagArrI64)
+	mark := t.PushRoot(&offs)
+	tgts := t.Alloc(0, m, mem.TagArrI64)
+	t.PushRoot(&tgts)
+
+	total := 0
+	for v := 0; v < n; v++ {
+		t.WriteInitWord(offs, v, uint64(total))
+		for _, w := range g.Adj[v] {
+			t.WriteInitWord(tgts, total, uint64(w))
+			total++
+		}
+	}
+	t.WriteInitWord(offs, n, uint64(total))
+
+	tup := t.Alloc(2, 2, mem.TagTuple)
+	t.PopRoots(mark)
+	t.WriteInitPtr(tup, fieldOffsets, offs)
+	t.WriteInitPtr(tup, fieldTargets, tgts)
+	t.WriteInitWord(tup, fieldN, uint64(n))
+	t.WriteInitWord(tup, fieldM, uint64(m))
+	return tup
+}
+
+// N returns the vertex count of a loaded graph.
+func N(t *rts.Task, g mem.ObjPtr) int { return int(t.ReadImmWord(g, fieldN)) }
+
+// M returns the directed edge count of a loaded graph.
+func M(t *rts.Task, g mem.ObjPtr) int { return int(t.ReadImmWord(g, fieldM)) }
+
+// Offsets returns the CSR offsets array.
+func Offsets(t *rts.Task, g mem.ObjPtr) mem.ObjPtr { return t.ReadImmPtr(g, fieldOffsets) }
+
+// Targets returns the CSR targets array.
+func Targets(t *rts.Task, g mem.ObjPtr) mem.ObjPtr { return t.ReadImmPtr(g, fieldTargets) }

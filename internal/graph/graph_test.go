@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+func TestGenerateShape(t *testing.T) {
+	g := Generate(Spec{N: 4096, AvgDeg: 8, Seed: 42})
+	if g.N != 4096 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() < g.N*8 {
+		t.Fatalf("too few edges: %d", g.Edges())
+	}
+	// Power-law-ish skew: the max degree should far exceed the average.
+	avg := g.Edges() / g.N
+	if g.MaxDegree() < 4*avg {
+		t.Fatalf("degree distribution not skewed: max %d, avg %d", g.MaxDegree(), avg)
+	}
+}
+
+func TestGenerateConnectedSmallDiameter(t *testing.T) {
+	g := Generate(Spec{N: 8192, AvgDeg: 8, Seed: 7})
+	dist := RefBFS(g, 0)
+	for v, d := range dist {
+		if d < 0 {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+	if d := Diameter(g); d > 20 {
+		t.Fatalf("diameter %d too large for an orkut-like graph", d)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{N: 1024, AvgDeg: 4, Seed: 5})
+	b := Generate(Spec{N: 1024, AvgDeg: 4, Seed: 5})
+	if a.Edges() != b.Edges() {
+		t.Fatal("generator not deterministic")
+	}
+	for v := range a.Adj {
+		for i := range a.Adj[v] {
+			if a.Adj[v][i] != b.Adj[v][i] {
+				t.Fatal("adjacency mismatch")
+			}
+		}
+	}
+}
+
+func TestLoadCSR(t *testing.T) {
+	g := Generate(Spec{N: 512, AvgDeg: 4, Seed: 3})
+	r := rts.New(rts.DefaultConfig(rts.Seq, 1))
+	defer r.Close()
+	ok := r.Run(func(task *rts.Task) uint64 {
+		cg := Load(task, g)
+		if N(task, cg) != g.N || M(task, cg) != g.Edges() {
+			return 0
+		}
+		offs, tgts := Offsets(task, cg), Targets(task, cg)
+		// Spot-check adjacency round trip.
+		for v := 0; v < g.N; v += 37 {
+			lo := int(task.ReadImmWord(offs, v))
+			hi := int(task.ReadImmWord(offs, v+1))
+			if hi-lo != len(g.Adj[v]) {
+				return 0
+			}
+			for i, w := range g.Adj[v] {
+				if task.ReadImmWord(tgts, lo+i) != uint64(w) {
+					return 0
+				}
+			}
+		}
+		return 1
+	})
+	if ok != 1 {
+		t.Fatal("CSR load mismatch")
+	}
+	_ = mem.NilPtr
+}

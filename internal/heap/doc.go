@@ -1,0 +1,19 @@
+// Package heap implements the hierarchy of heaps that mirrors the fork-join
+// task tree (paper §3.2, Appendix B).
+//
+// A Heap owns a linked list of chunks and supports bump allocation. Heaps
+// form a tree: forkjoin creates child heaps, and when tasks complete their
+// heaps are joined into the parent in O(1) — the child heap descriptor is
+// redirected into the parent with a union-find link, so no objects move and
+// chunk ownership lookups stay O(1) amortized via path compression. This
+// reproduces MLton's constant-time linked-list splice while keeping the
+// chunk-metadata heapOf lookup of the paper's implementation.
+//
+// Every heap carries a readers-writer lock (paper Figure 4): findMaster
+// acquires it in read mode, promotion in write mode, deepest heap first.
+//
+// A Superheap is the per-user-level-thread stack of heaps from Appendix B:
+// forkjoin pushes a fresh heap (depth+1) and the matching join pops and
+// joins it, both constant-time operations, so the common no-steal case
+// stays cheap.
+package heap

@@ -1,0 +1,64 @@
+package heap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// Chunk-ownership registry: maps chunk IDs to their owning heap, giving the
+// O(1) heapOf of paper Figure 4. Mirrors the two-level layout of the mem
+// chunk directory; entries are atomic so lookups are lock-free.
+
+const (
+	ownSegBits = 12
+	ownSegSize = 1 << ownSegBits
+	ownSegs    = 1 << 16
+)
+
+type ownSegment [ownSegSize]atomic.Pointer[Heap]
+
+var ownerDir [ownSegs]atomic.Pointer[ownSegment]
+
+// SetOwner records h as the owner of chunk id.
+func SetOwner(id uint32, h *Heap) {
+	segIdx := id >> ownSegBits
+	seg := ownerDir[segIdx].Load()
+	if seg == nil {
+		fresh := new(ownSegment)
+		if ownerDir[segIdx].CompareAndSwap(nil, fresh) {
+			seg = fresh
+		} else {
+			seg = ownerDir[segIdx].Load()
+		}
+	}
+	seg[id&(ownSegSize-1)].Store(h)
+}
+
+// ClearOwner removes the ownership entry for chunk id.
+func ClearOwner(id uint32) {
+	seg := ownerDir[id>>ownSegBits].Load()
+	if seg != nil {
+		seg[id&(ownSegSize-1)].Store(nil)
+	}
+}
+
+// OwnerOfChunk returns the heap owning chunk id, unresolved.
+func OwnerOfChunk(id uint32) *Heap {
+	seg := ownerDir[id>>ownSegBits].Load()
+	if seg == nil {
+		return nil
+	}
+	return seg[id&(ownSegSize-1)].Load()
+}
+
+// Of returns the live heap holding the object (paper's heapOf): the chunk's
+// recorded owner resolved through any joins.
+func Of(p mem.ObjPtr) *Heap {
+	h := OwnerOfChunk(p.ChunkID())
+	if h == nil {
+		panic(fmt.Sprintf("heap: object %v has no owning heap", p))
+	}
+	return h.Resolve()
+}

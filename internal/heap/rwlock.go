@@ -1,0 +1,119 @@
+package heap
+
+import "sync"
+
+// Mode selects how a heap lock is acquired, following the paper's
+// lock(heap, mode) primitive.
+type Mode int
+
+// Lock acquisition modes.
+const (
+	READ Mode = iota
+	WRITE
+)
+
+// RWLock is a counting readers-writer lock with writer preference.
+// Promotions (writers) must not starve behind streams of findMaster calls
+// (readers), so arriving readers queue behind waiting writers.
+//
+// Unlike sync.RWMutex it exposes a mode-less Unlock matching the paper's
+// unlock(heap), and it counts acquisitions and contention events so the
+// evaluation can report locking behaviour (usp-tree's serialization).
+type RWLock struct {
+	mu             sync.Mutex
+	cond           *sync.Cond
+	readers        int
+	writer         bool
+	waitingWriters int
+
+	// statistics, guarded by mu
+	rAcquires  int64
+	wAcquires  int64
+	rContended int64
+	wContended int64
+}
+
+// LockStats is a snapshot of a lock's acquisition counters.
+type LockStats struct {
+	ReadAcquires   int64
+	WriteAcquires  int64
+	ReadContended  int64
+	WriteContended int64
+}
+
+func (l *RWLock) init() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
+}
+
+// Lock acquires the lock in the given mode.
+func (l *RWLock) Lock(m Mode) {
+	if m == WRITE {
+		l.WLock()
+	} else {
+		l.RLock()
+	}
+}
+
+// RLock acquires the lock in shared (read) mode.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	l.init()
+	l.rAcquires++
+	if l.writer || l.waitingWriters > 0 {
+		l.rContended++
+		for l.writer || l.waitingWriters > 0 {
+			l.cond.Wait()
+		}
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// WLock acquires the lock in exclusive (write) mode.
+func (l *RWLock) WLock() {
+	l.mu.Lock()
+	l.init()
+	l.wAcquires++
+	if l.writer || l.readers > 0 {
+		l.wContended++
+		l.waitingWriters++
+		for l.writer || l.readers > 0 {
+			l.cond.Wait()
+		}
+		l.waitingWriters--
+	}
+	l.writer = true
+	l.mu.Unlock()
+}
+
+// Unlock releases the lock, whichever mode it is held in. It panics if the
+// lock is not held.
+func (l *RWLock) Unlock() {
+	l.mu.Lock()
+	l.init()
+	switch {
+	case l.writer:
+		l.writer = false
+	case l.readers > 0:
+		l.readers--
+	default:
+		l.mu.Unlock()
+		panic("heap: Unlock of unlocked RWLock")
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Stats returns a snapshot of the acquisition counters.
+func (l *RWLock) Stats() LockStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LockStats{
+		ReadAcquires:   l.rAcquires,
+		WriteAcquires:  l.wAcquires,
+		ReadContended:  l.rContended,
+		WriteContended: l.wContended,
+	}
+}

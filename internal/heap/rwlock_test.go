@@ -1,0 +1,139 @@
+package heap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWLockBasic(t *testing.T) {
+	var l RWLock
+	l.RLock()
+	l.RLock()
+	l.Unlock()
+	l.Unlock()
+	l.WLock()
+	l.Unlock()
+	l.Lock(READ)
+	l.Unlock()
+	l.Lock(WRITE)
+	l.Unlock()
+}
+
+func TestRWLockUnlockUnheldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unheld lock must panic")
+		}
+	}()
+	var l RWLock
+	l.Unlock()
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	var l RWLock
+	l.WLock()
+	acquired := make(chan struct{})
+	go func() {
+		l.RLock()
+		close(acquired)
+		l.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("reader acquired while writer held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("reader never acquired after writer release")
+	}
+}
+
+func TestRWLockMutualExclusionStress(t *testing.T) {
+	var l RWLock
+	var shared int64
+	var inWriter atomic.Int32
+	var wg sync.WaitGroup
+	const writers, readers, iters = 4, 4, 2000
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.WLock()
+				if inWriter.Add(1) != 1 {
+					t.Error("two writers inside critical section")
+				}
+				shared++
+				inWriter.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.RLock()
+				if inWriter.Load() != 0 {
+					t.Error("reader overlapped a writer")
+				}
+				_ = shared
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != writers*iters {
+		t.Fatalf("lost updates: shared=%d want %d", shared, writers*iters)
+	}
+	st := l.Stats()
+	if st.WriteAcquires != writers*iters || st.ReadAcquires != readers*iters {
+		t.Fatalf("acquisition counters wrong: %+v", st)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	var l RWLock
+	l.RLock() // held reader
+
+	writerIn := make(chan struct{})
+	go func() {
+		l.WLock()
+		close(writerIn)
+		l.Unlock()
+	}()
+	// Give the writer time to start waiting.
+	for {
+		l.mu.Lock()
+		waiting := l.waitingWriters
+		l.mu.Unlock()
+		if waiting == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A new reader must queue behind the waiting writer.
+	readerIn := make(chan struct{})
+	go func() {
+		l.RLock()
+		close(readerIn)
+		l.Unlock()
+	}()
+	select {
+	case <-readerIn:
+		t.Fatal("reader overtook a waiting writer")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	l.Unlock() // release original reader: writer goes first
+	<-writerIn
+	<-readerIn
+}

@@ -1,0 +1,55 @@
+package heap
+
+// Superheap is the per-user-level-thread stack of heaps from Appendix B.
+// The heap at the top of the stack is where the thread currently
+// allocates; forkjoin pushes a child heap and the matching join pops it,
+// joining it into the heap below. Both operations are constant-time, which
+// keeps the no-steal forkjoin path cheap.
+type Superheap struct {
+	heaps []*Heap
+}
+
+// NewSuperheap creates a superheap whose base is the given heap. For the
+// initial task the base is the root heap; for a stolen task the base is a
+// fresh child of the victim's heap at the fork point.
+func NewSuperheap(base *Heap) *Superheap {
+	return &Superheap{heaps: []*Heap{base}}
+}
+
+// Current returns the heap the thread is allocating into.
+func (s *Superheap) Current() *Heap { return s.heaps[len(s.heaps)-1] }
+
+// Base returns the superheap's bottom heap.
+func (s *Superheap) Base() *Heap { return s.heaps[0] }
+
+// Depth returns the number of heaps on the stack.
+func (s *Superheap) Len() int { return len(s.heaps) }
+
+// Push creates a child heap of the current heap and makes it current
+// (forkjoin's depth increment).
+func (s *Superheap) Push() *Heap {
+	h := NewChild(s.Current())
+	s.heaps = append(s.heaps, h)
+	return h
+}
+
+// PopJoin joins the current heap into the heap below it and pops the stack
+// (forkjoin's depth decrement). It panics at the base.
+func (s *Superheap) PopJoin() {
+	n := len(s.heaps)
+	if n < 2 {
+		panic("heap: PopJoin on superheap base")
+	}
+	Join(s.heaps[n-2], s.heaps[n-1])
+	s.heaps[n-1] = nil
+	s.heaps = s.heaps[:n-1]
+}
+
+// AdoptJoin joins a completed child superheap (fully popped back to its
+// base) into the current heap. Used at the join point for stolen tasks.
+func (s *Superheap) AdoptJoin(child *Superheap) {
+	if child.Len() != 1 {
+		panic("heap: adopting a superheap that is not fully popped")
+	}
+	Join(s.Current(), child.Base())
+}

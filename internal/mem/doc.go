@@ -1,0 +1,24 @@
+// Package mem implements the simulated managed-memory substrate that the
+// rest of the runtime is built on.
+//
+// Go's garbage collector cannot host the paper's hierarchical heaps
+// directly, so this package provides raw material the runtime manages
+// itself: memory is carved into chunks (fixed-granularity []uint64 slabs),
+// objects are bump-allocated inside chunks, and object pointers are packed
+// 64-bit handles (chunk ID in the high word, word offset in the low word).
+// A global two-level chunk directory resolves handles to chunks with two
+// atomic loads, mirroring MLton's address-masked chunk metadata lookup.
+//
+// Every object carries two metadata words:
+//
+//	word 0: header — packs the number of pointer fields, the number of
+//	        non-pointer words, and a tag describing the object kind
+//	word 1: forwarding pointer — NilPtr, or the next copy of this object
+//
+// The dedicated forwarding word reproduces the paper's design decision
+// (§6): promotion never overwrites object data, so immutable reads need no
+// read barrier, and only mutable accesses check the forwarding word.
+//
+// Pointer fields are stored before non-pointer words so collectors and
+// promotion can scan them without per-field type maps.
+package mem

@@ -1,0 +1,34 @@
+package mem
+
+import "fmt"
+
+// ObjPtr is a packed handle to a managed object: the owning chunk's ID in
+// the upper 32 bits and the word offset of the object's header within the
+// chunk in the lower 32 bits. The zero value is the nil pointer (chunk ID 0
+// is never allocated).
+type ObjPtr uint64
+
+// NilPtr is the null object pointer.
+const NilPtr ObjPtr = 0
+
+// MakeObjPtr packs a chunk ID and word offset into an ObjPtr.
+func MakeObjPtr(chunkID, off uint32) ObjPtr {
+	return ObjPtr(uint64(chunkID)<<32 | uint64(off))
+}
+
+// ChunkID returns the ID of the chunk holding the object.
+func (p ObjPtr) ChunkID() uint32 { return uint32(p >> 32) }
+
+// Off returns the word offset of the object header within its chunk.
+func (p ObjPtr) Off() uint32 { return uint32(p) }
+
+// IsNil reports whether p is the nil pointer.
+func (p ObjPtr) IsNil() bool { return p == NilPtr }
+
+// String renders the pointer as chunk:offset for debugging.
+func (p ObjPtr) String() string {
+	if p.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("%d:%d", p.ChunkID(), p.Off())
+}

@@ -1,0 +1,52 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestObjPtrPackRoundtrip(t *testing.T) {
+	f := func(chunk, off uint32) bool {
+		p := MakeObjPtr(chunk, off)
+		return p.ChunkID() == chunk && p.Off() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPtr(t *testing.T) {
+	if !NilPtr.IsNil() {
+		t.Fatal("NilPtr must be nil")
+	}
+	if NilPtr.ChunkID() != 0 || NilPtr.Off() != 0 {
+		t.Fatal("NilPtr must decode to chunk 0 offset 0")
+	}
+	if MakeObjPtr(1, 0).IsNil() {
+		t.Fatal("chunk 1 offset 0 must not be nil")
+	}
+	if NilPtr.String() != "nil" {
+		t.Fatalf("NilPtr.String() = %q", NilPtr.String())
+	}
+	if got := MakeObjPtr(3, 7).String(); got != "3:7" {
+		t.Fatalf("MakeObjPtr(3,7).String() = %q", got)
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	ints := func(v int64) bool { return W2I(I2W(v)) == v }
+	if err := quick.Check(ints, nil); err != nil {
+		t.Fatal(err)
+	}
+	floats := func(v float64) bool { return v != v || W2F(F2W(v)) == v }
+	if err := quick.Check(floats, nil); err != nil {
+		t.Fatal(err)
+	}
+	ptrs := func(c, o uint32) bool {
+		p := MakeObjPtr(c, o)
+		return W2P(P2W(p)) == p
+	}
+	if err := quick.Check(ptrs, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package mem
+
+import "math"
+
+// Val is the runtime's uniform 64-bit value representation: either a raw
+// machine word (integer or float bits) or an ObjPtr, depending on context.
+// The split mirrors the paper's "data" type, with ObjPtr distinguished.
+type Val = uint64
+
+// I2W converts an int64 to a raw word.
+func I2W(v int64) Val { return uint64(v) }
+
+// W2I converts a raw word back to an int64.
+func W2I(w Val) int64 { return int64(w) }
+
+// F2W converts a float64 to a raw word.
+func F2W(v float64) Val { return math.Float64bits(v) }
+
+// W2F converts a raw word back to a float64.
+func W2F(w Val) float64 { return math.Float64frombits(w) }
+
+// P2W converts an object pointer to a raw word.
+func P2W(p ObjPtr) Val { return uint64(p) }
+
+// W2P converts a raw word back to an object pointer.
+func W2P(w Val) ObjPtr { return ObjPtr(w) }

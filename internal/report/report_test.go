@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rts"
+)
+
+func TestRenderTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	renderTable(&sb, []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a            long-header") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestOptionsSelection(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Procs < 1 || o.Reps < 1 {
+		t.Fatal("normalize must set defaults")
+	}
+	pure := o.selected(true, false)
+	for _, b := range pure {
+		if !b.Pure {
+			t.Fatalf("%s is not pure", b.Name)
+		}
+	}
+	imp := o.selected(false, true)
+	for _, b := range imp {
+		if b.Pure {
+			t.Fatalf("%s is pure", b.Name)
+		}
+	}
+	if len(pure)+len(imp) != 17 {
+		t.Fatalf("pure %d + imperative %d != 17", len(pure), len(imp))
+	}
+	named := Options{Names: []string{"fib", "usp"}}.normalize().selected(false, false)
+	if len(named) != 2 {
+		t.Fatalf("name filter returned %d benchmarks", len(named))
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	b, _ := bench.ByName("fib")
+	if (Options{Paper: true}).scale(b) != b.Paper {
+		t.Fatal("paper flag must select paper sizes")
+	}
+	if (Options{}).scale(b) != b.Default {
+		t.Fatal("default sizes expected")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig8(&sb, 500); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"local", "distant", "promoted", "write-ptr-promoting"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Procs: 2, Names: []string{"fib", "usp-tree"}}
+	if err := Fig9(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "immutable reads") {
+		t.Fatalf("fib row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "distant promoting writes") {
+		t.Fatalf("usp-tree row wrong:\n%s", out)
+	}
+}
+
+func TestFig10SmokeValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	o := Options{Procs: 2, Reps: 1, Names: []string{"fib"}}
+	if err := Fig10(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "all systems agree") {
+		t.Fatalf("validation line missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), rts.ParMem.String()) {
+		t.Fatal("parmem column missing")
+	}
+}

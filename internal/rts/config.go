@@ -1,0 +1,62 @@
+package rts
+
+import "repro/internal/gc"
+
+// Mode selects which of the paper's runtime systems to run.
+type Mode int
+
+// The four systems of the evaluation (§4).
+const (
+	ParMem    Mode = iota // hierarchical heaps + promotion (mlton-parmem)
+	STW                   // parallel alloc, stop-the-world sequential GC (mlton-spoonhower)
+	Seq                   // sequential baseline (mlton)
+	Manticore             // DLG-style local heaps + promote-on-communication (manticore)
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ParMem:
+		return "mlton-parmem"
+	case STW:
+		return "mlton-spoonhower"
+	case Seq:
+		return "mlton"
+	case Manticore:
+		return "manticore"
+	default:
+		return "unknown-mode"
+	}
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	Mode  Mode
+	Procs int // worker count; ignored in Seq mode
+
+	// Policy triggers collection of a task-local (ParMem), single (Seq), or
+	// worker-local (Manticore) heap.
+	Policy gc.Policy
+
+	// STWFloorBytes and STWRatio drive the stop-the-world trigger: collect
+	// when global occupancy exceeds max(floor, ratio * live-after-last-GC).
+	STWFloorBytes int64
+	STWRatio      float64
+
+	// DisableGC turns collection off entirely (for GC-overhead ablations).
+	DisableGC bool
+
+	// NoWritePtrFastPath forces every pointer write through the master-copy
+	// lookup (ablation of the paper's local-update fast path, §3.3).
+	NoWritePtrFastPath bool
+}
+
+// DefaultConfig returns a workable configuration for the given mode.
+func DefaultConfig(mode Mode, procs int) Config {
+	return Config{
+		Mode:          mode,
+		Procs:         procs,
+		Policy:        gc.DefaultPolicy(),
+		STWFloorBytes: 8 << 20,
+		STWRatio:      2.0,
+	}
+}

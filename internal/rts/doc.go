@@ -1,0 +1,22 @@
+// Package rts assembles the complete runtime systems compared in the
+// paper's evaluation (§4). One benchmark codebase runs against four
+// runtime configurations:
+//
+//   - ParMem — the paper's contribution: hierarchical heaps mirroring the
+//     fork-join task tree, promotion on entangling pointer writes, leaf-heap
+//     collection at allocation safe points (labelled mlton-parmem).
+//   - STW — Spoonhower-style parallel ML: the same scheduler, per-worker
+//     allocation into flat heaps, and sequential stop-the-world semispace
+//     collection with a safe-point rendezvous (labelled mlton-spoonhower).
+//   - Seq — the sequential baseline: direct execution of both forkjoin
+//     arms, plain loads and stores, one heap (labelled mlton).
+//   - Manticore — a DLG-style design: per-worker local heaps under a shared
+//     global heap; data is promoted (copied) to the global heap whenever the
+//     runtime communicates it across workers (stolen-task environments and
+//     stolen-task results), and local heaps are collected independently.
+//
+// Tasks carry a shadow stack of root slots (registered *mem.ObjPtr Go
+// locals); collections update the slots in place. The rooting contract for
+// code running on a Task: any object pointer that must survive a call that
+// may allocate (or fork) is registered for the duration of that call.
+package rts

@@ -1,0 +1,192 @@
+package rts
+
+import (
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Thunk is one forkjoin arm (Figure 3's thunk). It receives the task
+// context and an environment pointer and returns an object pointer (NilPtr
+// for unit results).
+//
+// The environment is how object pointers cross a fork: closures must not
+// capture mem.ObjPtr values directly, because collectors only update
+// registered root slots and promoted environments must reach the stolen
+// side. Pack pointers into env (a single object or a small tuple) and
+// re-read them inside the thunk. Scalars may be captured freely.
+type Thunk func(t *Task, env mem.ObjPtr) mem.ObjPtr
+
+// ScalarThunk is a forkjoin arm returning a raw word (fib-style results);
+// the result is never treated as a pointer.
+type ScalarThunk func(t *Task, env mem.ObjPtr) uint64
+
+// frame carries a forkjoin's stealable half and its join state.
+type frame struct {
+	sf       *sched.Frame
+	env      mem.ObjPtr
+	result   mem.ObjPtr
+	scalar   uint64
+	childSH  *heap.Superheap // ParMem: the thief's superheap, adopted at join
+	forkHeap *heap.Heap      // ParMem: heap at the fork point
+	ownerWS  *workerState    // Manticore: victim's worker state
+}
+
+// ForkJoin runs f and g in parallel (Figure 5) and returns both results.
+// Heap management per Appendix B: the superheap gains a level for the fork;
+// if g is stolen the thief builds a child superheap that the parent adopts
+// and joins at the join point. env is passed to both arms — the stolen arm
+// may receive a promoted copy (Manticore mode).
+func (t *Task) ForkJoin(env mem.ObjPtr, f, g Thunk) (mem.ObjPtr, mem.ObjPtr) {
+	r := t.rt
+	if r.cfg.Mode == Seq {
+		mark := t.PushRoot(&env)
+		rf := f(t, env)
+		t.PushRoot(&rf)
+		rg := g(t, env)
+		t.PopRoots(mark)
+		return rf, rg
+	}
+	fr := &frame{env: env, ownerWS: t.ws}
+	mark := t.PushRoot(&fr.env)
+	if r.cfg.Mode == STW {
+		// Only the stop-the-world collector may need to relocate a stolen
+		// result (everything is parked when it runs). In ParMem the result
+		// sits in the thief's heap, which is never collected before the
+		// join; in Manticore it is promoted to the global heap first.
+		t.PushRoot(&fr.result)
+	}
+	if r.gcFlag.Load() {
+		// Fork safe point. This must come after fr.env is rooted: parking
+		// here hands the collector a window to move (or reclaim) anything
+		// unregistered, and env would otherwise be held only in Go locals.
+		t.stopForGCTask()
+	}
+	if r.cfg.Mode == ParMem {
+		fr.forkHeap = t.sh.Current()
+		t.sh.Push()
+	}
+	fr.sf = sched.NewFrame(func(thief *sched.Worker) {
+		r.runStolen(fr, g, thief)
+	})
+	t.w.Push(fr.sf)
+	rf := f(t, fr.env)
+	t.PushRoot(&rf)
+	var rg mem.ObjPtr
+	if popped := t.w.PopBottom(); popped == fr.sf {
+		rg = g(t, fr.env)
+	} else {
+		if popped != nil {
+			panic("rts: foreign frame popped at join")
+		}
+		t.w.WaitHelp(fr.sf)
+		rg = fr.result
+		if r.cfg.Mode == ParMem {
+			t.sh.AdoptJoin(fr.childSH)
+		}
+	}
+	if r.cfg.Mode == ParMem {
+		t.sh.PopJoin()
+	}
+	t.PopRoots(mark)
+	return rf, rg
+}
+
+// ForkJoinScalar is ForkJoin for raw-word results.
+func (t *Task) ForkJoinScalar(env mem.ObjPtr, f, g ScalarThunk) (uint64, uint64) {
+	r := t.rt
+	if r.cfg.Mode == Seq {
+		mark := t.PushRoot(&env)
+		rf := f(t, env)
+		rg := g(t, env)
+		t.PopRoots(mark)
+		return rf, rg
+	}
+	fr := &frame{env: env, ownerWS: t.ws}
+	mark := t.PushRoot(&fr.env)
+	if r.gcFlag.Load() {
+		t.stopForGCTask() // fork safe point; env is rooted above
+	}
+	if r.cfg.Mode == ParMem {
+		fr.forkHeap = t.sh.Current()
+		t.sh.Push()
+	}
+	fr.sf = sched.NewFrame(func(thief *sched.Worker) {
+		r.runStolenScalar(fr, g, thief)
+	})
+	t.w.Push(fr.sf)
+	rf := f(t, fr.env)
+	var rg uint64
+	if popped := t.w.PopBottom(); popped == fr.sf {
+		rg = g(t, fr.env)
+	} else {
+		if popped != nil {
+			panic("rts: foreign frame popped at join")
+		}
+		t.w.WaitHelp(fr.sf)
+		rg = fr.scalar
+		if r.cfg.Mode == ParMem {
+			t.sh.AdoptJoin(fr.childSH)
+		}
+	}
+	if r.cfg.Mode == ParMem {
+		t.sh.PopJoin()
+	}
+	t.PopRoots(mark)
+	return rf, rg
+}
+
+// runStolen executes a stolen pointer-result frame on the thief.
+func (r *Runtime) runStolen(fr *frame, g Thunk, thief *sched.Worker) {
+	st := r.newStolenTask(thief, fr.forkHeap)
+	if r.cfg.Mode == ParMem {
+		fr.childSH = st.sh
+	}
+	env := r.stolenEnv(fr, st)
+	mark := st.PushRoot(&env)
+	res := g(st, env)
+	st.PopRoots(mark)
+	if r.cfg.Mode == Manticore && !res.IsNil() && heap.Of(res).Depth() > 0 {
+		// Result communication to another worker promotes the result's
+		// object graph to the shared global heap (DLG invariant).
+		res = core.PromoteTo(&st.Ops, r.rootHeap, res)
+	}
+	fr.result = res
+	st.finish()
+}
+
+// runStolenScalar executes a stolen scalar-result frame on the thief.
+func (r *Runtime) runStolenScalar(fr *frame, g ScalarThunk, thief *sched.Worker) {
+	st := r.newStolenTask(thief, fr.forkHeap)
+	if r.cfg.Mode == ParMem {
+		fr.childSH = st.sh
+	}
+	env := r.stolenEnv(fr, st)
+	mark := st.PushRoot(&env)
+	fr.scalar = g(st, env)
+	st.PopRoots(mark)
+	st.finish()
+}
+
+// stolenEnv resolves the environment seen by a stolen frame. In Manticore
+// mode the environment is promoted to the global heap under the victim's
+// local-heap lock (steal-time communication); the lock also orders the read
+// of fr.env against the victim's local collections, which update the
+// frame's rooted env slot in place.
+func (r *Runtime) stolenEnv(fr *frame, st *Task) mem.ObjPtr {
+	if r.cfg.Mode != Manticore {
+		return fr.env
+	}
+	ws := fr.ownerWS
+	ws.localMu.Lock()
+	env := fr.env
+	if !env.IsNil() && heap.Of(env).Depth() > 0 {
+		// The thief works on the promoted copy; the victim's inline arm
+		// keeps using the original (fr.env is not written back — the
+		// parent reads it concurrently for the left arm).
+		env = core.PromoteTo(&st.Ops, r.rootHeap, env)
+	}
+	ws.localMu.Unlock()
+	return env
+}

@@ -1,0 +1,102 @@
+package rts
+
+import (
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// Stop-the-world collection for the Spoonhower-style baseline: any worker
+// whose allocation trips the global trigger becomes the collector; all
+// other workers park at safe points (allocations, forks, and the
+// scheduler's idle/wait loops); the collector then runs a sequential
+// semispace collection over every worker heap, rooted by every live task.
+// Parked time is charged to GC, which is how the paper reports GC_72 for
+// mlton-spoonhower ("processor time spent blocked during a stop-the-world
+// collection").
+
+// stwShouldCollect checks the global occupancy trigger.
+func (r *Runtime) stwShouldCollect() bool {
+	live := mem.LiveBytes() - r.baselineBytes
+	threshold := int64(r.cfg.STWRatio * float64(r.stwLastLive.Load()))
+	if threshold < r.cfg.STWFloorBytes {
+		threshold = r.cfg.STWFloorBytes
+	}
+	return live >= threshold
+}
+
+// parkForGC blocks until no collection is in progress. Must be called with
+// gcMu held; temporarily joins the stopped set.
+func (r *Runtime) parkForGC() {
+	for r.gcInProgress {
+		r.gcStopped++
+		r.gcCond.Broadcast() // let the collector recount
+		r.gcCond.Wait()
+		r.gcStopped--
+	}
+}
+
+// stopForGC is the safe-point hook for workers with no task context
+// (idle or waiting in the scheduler). Blocked time is charged to GC.
+func (r *Runtime) stopForGC() {
+	start := time.Now()
+	r.gcMu.Lock()
+	r.parkForGC()
+	r.gcMu.Unlock()
+	if d := time.Since(start); d > time.Microsecond {
+		r.gcNanos.Add(d.Nanoseconds())
+	}
+}
+
+// stopForGCTask is the safe-point check on allocation and fork paths.
+func (t *Task) stopForGCTask() {
+	start := time.Now()
+	r := t.rt
+	r.gcMu.Lock()
+	r.parkForGC()
+	r.gcMu.Unlock()
+	if d := time.Since(start); d > time.Microsecond {
+		t.gcNanos += d.Nanoseconds()
+	}
+}
+
+// triggerSTW makes the calling task the collector: raise the flag, wait for
+// the other P-1 workers to park, collect everything sequentially, release.
+func (r *Runtime) triggerSTW(t *Task) {
+	r.gcMu.Lock()
+	if r.gcInProgress {
+		// Someone else is collecting; park like everyone else, then let the
+		// caller re-test its trigger.
+		r.parkForGC()
+		r.gcMu.Unlock()
+		return
+	}
+	r.gcInProgress = true
+	r.gcFlag.Store(true)
+	for r.gcStopped < r.pool.NumWorkers()-1 {
+		r.gcCond.Wait()
+	}
+
+	start := time.Now()
+	zone := make([]*heap.Heap, 0, len(r.states))
+	for _, ws := range r.states {
+		zone = append(zone, ws.heap)
+	}
+	var roots []*mem.ObjPtr
+	r.mu.Lock()
+	for task := range r.tasks {
+		roots = append(roots, task.roots...)
+	}
+	r.mu.Unlock()
+	stats := gc.Collect(zone, roots)
+	r.stwLastLive.Store(mem.LiveBytes() - r.baselineBytes)
+	t.gcStats.Add(stats)
+	t.gcNanos += time.Since(start).Nanoseconds()
+
+	r.gcInProgress = false
+	r.gcFlag.Store(false)
+	r.gcCond.Broadcast()
+	r.gcMu.Unlock()
+}

@@ -1,0 +1,163 @@
+package rts
+
+import (
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// The high-level memory operations of Figure 3, dispatched per mode. The
+// ParMem and Manticore paths run the paper's algorithms (package core);
+// the Seq path compiles to plain loads and stores; the STW path uses
+// atomics for mutable data (parallel mutators) but needs no barriers.
+
+// Alloc allocates an object with numPtr pointer fields and numNonptr raw
+// words, running the mode's collection trigger first (allocation points are
+// the GC safe points).
+func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+	r := t.rt
+	switch r.cfg.Mode {
+	case ParMem, Seq:
+		h := t.sh.Current()
+		if !r.cfg.DisableGC && r.cfg.Policy.ShouldCollect(h) {
+			t.collectOwn(h)
+		}
+		return core.Alloc(h, &t.Ops, numPtr, numNonptr, tag)
+	case STW:
+		if r.gcFlag.Load() {
+			t.stopForGCTask()
+		}
+		if !r.cfg.DisableGC && r.stwShouldCollect() {
+			r.triggerSTW(t)
+		}
+		return core.Alloc(t.ws.heap, &t.Ops, numPtr, numNonptr, tag)
+	default: // Manticore
+		h := t.ws.heap
+		if !r.cfg.DisableGC && r.cfg.Policy.ShouldCollect(h) {
+			t.collectLocal()
+		}
+		return core.Alloc(h, &t.Ops, numPtr, numNonptr, tag)
+	}
+}
+
+// AllocMut allocates an object that will be mutated and shared. In the
+// Manticore (DLG) mode, mutable objects must live in the shared global
+// heap — the invariant forbids pointers from the global heap into local
+// heaps, so a locally allocated mutable object would entangle on its first
+// shared update. The global allocation synchronizes on the global heap's
+// lock: exactly the "increased cost of mutable allocations" the paper's
+// related-work section attributes to DLG designs. Every other mode
+// allocates task-locally (the paper's advantage).
+func (t *Task) AllocMut(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+	r := t.rt
+	if r.cfg.Mode == Manticore {
+		g := r.rootHeap
+		g.Lock(heap.WRITE)
+		p := core.Alloc(g, &t.Ops, numPtr, numNonptr, tag)
+		g.Unlock()
+		return p
+	}
+	return t.Alloc(numPtr, numNonptr, tag)
+}
+
+// ReadImmWord reads an immutable raw word field (no barrier in any mode).
+func (t *Task) ReadImmWord(p mem.ObjPtr, i int) uint64 {
+	return core.ReadImmWord(&t.Ops, p, i)
+}
+
+// ReadImmPtr reads an immutable pointer field.
+func (t *Task) ReadImmPtr(p mem.ObjPtr, i int) mem.ObjPtr {
+	return core.ReadImmPtr(&t.Ops, p, i)
+}
+
+// ReadMutWord reads a mutable raw word field.
+func (t *Task) ReadMutWord(p mem.ObjPtr, i int) uint64 {
+	switch t.rt.cfg.Mode {
+	case ParMem, Manticore:
+		return core.ReadMutWord(&t.Ops, p, i)
+	case Seq:
+		t.Ops.ReadMutFast++
+		return mem.LoadWordField(p, i)
+	default: // STW
+		t.Ops.ReadMutFast++
+		return mem.LoadWordFieldAtomic(p, i)
+	}
+}
+
+// ReadMutPtr reads a mutable pointer field.
+func (t *Task) ReadMutPtr(p mem.ObjPtr, i int) mem.ObjPtr {
+	switch t.rt.cfg.Mode {
+	case ParMem, Manticore:
+		return core.ReadMutPtr(&t.Ops, p, i)
+	case Seq:
+		t.Ops.ReadMutFast++
+		return mem.LoadPtrField(p, i)
+	default: // STW
+		t.Ops.ReadMutFast++
+		return mem.LoadPtrFieldAtomic(p, i)
+	}
+}
+
+// WriteNonptr writes a mutable raw word field.
+func (t *Task) WriteNonptr(p mem.ObjPtr, i int, v uint64) {
+	switch t.rt.cfg.Mode {
+	case ParMem:
+		core.WriteNonptr(t.sh.Current(), &t.Ops, p, i, v)
+	case Manticore:
+		core.WriteNonptr(t.ws.heap, &t.Ops, p, i, v)
+	case Seq:
+		t.Ops.WriteNonptrLocal++
+		mem.StoreWordField(p, i, v)
+	default: // STW
+		t.Ops.WriteNonptrLocal++
+		mem.StoreWordFieldAtomic(p, i, v)
+	}
+}
+
+// CASWord compare-and-swaps a mutable raw word field.
+func (t *Task) CASWord(p mem.ObjPtr, i int, old, new uint64) bool {
+	switch t.rt.cfg.Mode {
+	case ParMem, Manticore:
+		return core.CASWord(&t.Ops, p, i, old, new)
+	default:
+		t.Ops.CASFast++
+		return mem.CASWordField(p, i, old, new)
+	}
+}
+
+// WritePtr writes a mutable pointer field, promoting in the hierarchical
+// modes when the write would entangle the hierarchy.
+func (t *Task) WritePtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
+	switch t.rt.cfg.Mode {
+	case ParMem:
+		if t.rt.cfg.NoWritePtrFastPath {
+			core.WritePtrSlow(&t.Ops, p, i, q)
+			return
+		}
+		core.WritePtr(t.sh.Current(), &t.Ops, p, i, q)
+	case Manticore:
+		core.WritePtr(t.ws.heap, &t.Ops, p, i, q)
+	case Seq:
+		t.Ops.WritePtrFast++
+		mem.StorePtrField(p, i, q)
+	default: // STW
+		t.Ops.WritePtrFast++
+		mem.StorePtrFieldAtomic(p, i, q)
+	}
+}
+
+// WriteInitWord performs an initializing raw-word store into a fresh
+// object (array construction; not mutation).
+func (t *Task) WriteInitWord(p mem.ObjPtr, i int, v uint64) {
+	core.WriteInitWord(&t.Ops, p, i, v)
+}
+
+// WriteInitPtr performs an initializing pointer store into a fresh object.
+// The value must be disentangled with respect to the object (same heap or
+// an ancestor), which the tests verify with the checker.
+func (t *Task) WriteInitPtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
+	core.WriteInitPtr(&t.Ops, p, i, q)
+}
+
+// HeapOf exposes heapOf for examples and tests.
+func HeapOf(p mem.ObjPtr) *heap.Heap { return heap.Of(p) }

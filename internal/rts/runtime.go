@@ -1,0 +1,225 @@
+package rts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Runtime is one configured runtime system. Create with New, execute with
+// Run, inspect with Stats, and release with Close. One Runtime should be
+// active at a time (memory accounting is process-global).
+type Runtime struct {
+	cfg  Config
+	pool *sched.Pool
+
+	// rootHeap is the hierarchy root (ParMem, Seq) or the shared global
+	// heap (Manticore). Unused in STW mode.
+	rootHeap *heap.Heap
+	states   []*workerState
+
+	mu       sync.Mutex
+	tasks    map[*Task]struct{}
+	totals   core.Counters
+	gcTotals gc.Stats
+
+	gcNanos       atomic.Int64
+	baselineBytes int64
+
+	// stop-the-world rendezvous state (STW mode)
+	gcFlag       atomic.Bool // mirrors gcInProgress for cheap checks
+	gcMu         sync.Mutex
+	gcCond       *sync.Cond
+	gcInProgress bool
+	gcStopped    int
+	stwLastLive  atomic.Int64
+}
+
+// workerState is the per-worker runtime state used by the STW and
+// Manticore modes.
+type workerState struct {
+	heap *heap.Heap
+	// localMu orders local-heap collection against cross-worker promotion
+	// out of this heap (Manticore's steal-time environment copy).
+	localMu sync.Mutex
+	// tasks hosted on this worker; touched only by the worker's goroutine.
+	tasks map[*Task]struct{}
+}
+
+// New builds and starts a runtime for the given configuration.
+func New(cfg Config) *Runtime {
+	if cfg.Procs < 1 {
+		cfg.Procs = 1
+	}
+	if cfg.Policy == (gc.Policy{}) {
+		cfg.Policy = gc.DefaultPolicy()
+	}
+	if cfg.STWRatio == 0 {
+		cfg.STWRatio = 2.0
+	}
+	if cfg.STWFloorBytes == 0 {
+		cfg.STWFloorBytes = 8 << 20
+	}
+	r := &Runtime{cfg: cfg, tasks: make(map[*Task]struct{})}
+	r.gcCond = sync.NewCond(&r.gcMu)
+	r.baselineBytes = mem.LiveBytes()
+	mem.ResetHighWater()
+
+	switch cfg.Mode {
+	case Seq:
+		r.rootHeap = heap.NewRoot()
+		return r // no worker pool
+	case ParMem:
+		r.rootHeap = heap.NewRoot()
+	case Manticore:
+		r.rootHeap = heap.NewRoot() // the shared global heap, depth 0
+	case STW:
+		// worker heaps only
+	}
+
+	r.pool = sched.NewPool(cfg.Procs)
+	r.states = make([]*workerState, cfg.Procs)
+	for i, w := range r.pool.Workers() {
+		ws := &workerState{tasks: make(map[*Task]struct{})}
+		switch cfg.Mode {
+		case STW:
+			ws.heap = heap.NewRoot()
+		case Manticore:
+			ws.heap = heap.NewChild(r.rootHeap)
+		}
+		r.states[i] = ws
+		w.Local = ws
+	}
+	if cfg.Mode == STW {
+		r.stwLastLive.Store(mem.LiveBytes() - r.baselineBytes)
+		r.pool.SetSafePoint(func(w *sched.Worker) {
+			if r.gcFlag.Load() {
+				r.stopForGC()
+			}
+		})
+	}
+	return r
+}
+
+// Config returns the runtime's configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Procs returns the effective processor count.
+func (r *Runtime) Procs() int {
+	if r.cfg.Mode == Seq {
+		return 1
+	}
+	return r.cfg.Procs
+}
+
+// Run executes fn as the root task and returns its result. The root task
+// runs on a worker (or on the calling goroutine in Seq mode).
+func (r *Runtime) Run(fn func(*Task) uint64) uint64 {
+	if r.cfg.Mode == Seq {
+		t := r.newTask(nil)
+		res := fn(t)
+		t.finish()
+		return res
+	}
+	var res uint64
+	r.pool.RunRoot(func(w *sched.Worker) {
+		t := r.newTask(w)
+		res = fn(t)
+		t.finish()
+	})
+	return res
+}
+
+// newTask creates a task hosted on worker w (nil in Seq mode) with a fresh
+// execution context for the mode.
+func (r *Runtime) newTask(w *sched.Worker) *Task {
+	t := &Task{rt: r, w: w}
+	switch r.cfg.Mode {
+	case ParMem, Seq:
+		t.sh = heap.NewSuperheap(r.rootHeap)
+	case STW, Manticore:
+		t.ws = w.Local.(*workerState)
+	}
+	r.mu.Lock()
+	r.tasks[t] = struct{}{}
+	r.mu.Unlock()
+	if t.ws != nil {
+		t.ws.tasks[t] = struct{}{}
+	}
+	return t
+}
+
+// newStolenTask creates the context for a stolen frame.
+func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap) *Task {
+	t := &Task{rt: r, w: w}
+	switch r.cfg.Mode {
+	case ParMem:
+		t.sh = heap.NewSuperheap(heap.NewChild(forkHeap))
+	case STW, Manticore:
+		t.ws = w.Local.(*workerState)
+	}
+	r.mu.Lock()
+	r.tasks[t] = struct{}{}
+	r.mu.Unlock()
+	if t.ws != nil {
+		t.ws.tasks[t] = struct{}{}
+	}
+	return t
+}
+
+// Totals is a snapshot of a runtime's aggregate statistics.
+type Totals struct {
+	Ops     core.Counters
+	GC      gc.Stats
+	GCNanos int64
+	Steals  int64
+	PeakMem int64 // peak chunk occupancy in bytes since New
+	Procs   int
+}
+
+// Stats returns aggregate statistics. Call after Run completes.
+func (r *Runtime) Stats() Totals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := Totals{
+		Ops:     r.totals,
+		GC:      r.gcTotals,
+		GCNanos: r.gcNanos.Load(),
+		PeakMem: mem.HighWaterBytes() - r.baselineBytes,
+		Procs:   r.Procs(),
+	}
+	if r.pool != nil {
+		t.Steals = r.pool.TotalSteals()
+	}
+	return t
+}
+
+// CheckDisentangled verifies the disentanglement invariant over the root
+// heap. After a completed Run every task heap has been joined into the
+// root, so this checks the entire surviving object graph. Debugging aid.
+func (r *Runtime) CheckDisentangled() error {
+	if r.rootHeap == nil {
+		return nil
+	}
+	return core.CheckHeap(r.rootHeap)
+}
+
+// Close stops the workers and releases every heap owned by the runtime.
+func (r *Runtime) Close() {
+	if r.pool != nil {
+		r.pool.Close()
+	}
+	for _, ws := range r.states {
+		if ws.heap != nil && ws.heap.IsAlive() {
+			heap.FreeChunkList(ws.heap.TakeChunks())
+		}
+	}
+	if r.rootHeap != nil && r.rootHeap.IsAlive() {
+		heap.FreeChunkList(r.rootHeap.TakeChunks())
+	}
+}

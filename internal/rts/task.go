@@ -1,0 +1,104 @@
+package rts
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// Task is one user-level thread: the execution context for a path of
+// forkjoin tasks (Appendix B). It owns a superheap in ParMem mode, points
+// at its worker's allocation heap in the flat modes, carries per-task
+// operation counters, and holds the shadow stack of GC root slots.
+type Task struct {
+	rt *Runtime
+	w  *sched.Worker
+	sh *heap.Superheap // ParMem / Seq
+	ws *workerState    // STW / Manticore
+
+	// Ops tallies this task's memory operations (merged at completion).
+	Ops     core.Counters
+	gcStats gc.Stats
+	gcNanos int64
+
+	roots []*mem.ObjPtr
+}
+
+// Runtime returns the owning runtime.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// GCNanosSoFar reports GC time observed so far: this task's own (not yet
+// merged) plus everything already merged or charged at the runtime level.
+// The benchmark harness snapshots it to separate setup-phase from
+// run-phase collection time.
+func (t *Task) GCNanosSoFar() int64 { return t.gcNanos + t.rt.gcNanos.Load() }
+
+// PushRoot registers object-pointer slots on the task's shadow stack and
+// returns a mark for PopRoots. Collections update registered slots in
+// place, so any pointer held in a Go local across an allocating call must
+// be registered for the duration of that call.
+func (t *Task) PushRoot(slots ...*mem.ObjPtr) int {
+	mark := len(t.roots)
+	t.roots = append(t.roots, slots...)
+	return mark
+}
+
+// PopRoots unregisters every slot pushed since the mark.
+func (t *Task) PopRoots(mark int) {
+	for i := mark; i < len(t.roots); i++ {
+		t.roots[i] = nil
+	}
+	t.roots = t.roots[:mark]
+}
+
+// finish merges the task's statistics into the runtime and deregisters it.
+func (t *Task) finish() {
+	r := t.rt
+	if t.ws != nil {
+		delete(t.ws.tasks, t)
+	}
+	r.mu.Lock()
+	r.totals.Add(&t.Ops)
+	r.gcTotals.Add(t.gcStats)
+	delete(r.tasks, t)
+	r.mu.Unlock()
+	r.gcNanos.Add(t.gcNanos)
+}
+
+// CurrentHeap returns the heap the task is allocating into.
+func (t *Task) CurrentHeap() *heap.Heap {
+	if t.sh != nil {
+		return t.sh.Current()
+	}
+	return t.ws.heap
+}
+
+// collectOwn collects the task's current (leaf) heap with the task's own
+// roots: ParMem leaf collection, or the whole heap in Seq mode.
+func (t *Task) collectOwn(h *heap.Heap) {
+	start := time.Now()
+	stats := gc.Collect([]*heap.Heap{h}, t.roots)
+	t.gcNanos += time.Since(start).Nanoseconds()
+	t.gcStats.Add(stats)
+}
+
+// collectLocal collects the worker-local heap in Manticore mode, rooted by
+// every task hosted on this worker (all suspended except the caller). The
+// local lock excludes cross-worker promotions out of this heap.
+func (t *Task) collectLocal() {
+	start := time.Now()
+	ws := t.ws
+	ws.localMu.Lock()
+	var roots []*mem.ObjPtr
+	for ht := range ws.tasks {
+		roots = append(roots, ht.roots...)
+	}
+	stats := gc.Collect([]*heap.Heap{ws.heap}, roots)
+	ws.localMu.Unlock()
+	t.gcNanos += time.Since(start).Nanoseconds()
+	t.gcStats.Add(stats)
+}

@@ -1,0 +1,102 @@
+package sched
+
+import "sync/atomic"
+
+// Deque is a Chase–Lev work-stealing deque of frames. The owning worker
+// pushes and pops at the bottom; thieves steal from the top. All operations
+// are lock-free.
+type Deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[dequeBuf]
+}
+
+type dequeBuf struct {
+	mask  uint64
+	items []atomic.Pointer[Frame]
+}
+
+func newDequeBuf(size int) *dequeBuf {
+	return &dequeBuf{mask: uint64(size - 1), items: make([]atomic.Pointer[Frame], size)}
+}
+
+const initialDequeSize = 256
+
+func (d *Deque) init() {
+	if d.buf.Load() == nil {
+		d.buf.Store(newDequeBuf(initialDequeSize))
+	}
+}
+
+// Push adds a frame at the bottom. Owner only.
+func (d *Deque) Push(f *Frame) {
+	d.init()
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.items)) {
+		// Grow: copy live range into a buffer twice the size.
+		bigger := newDequeBuf(2 * len(buf.items))
+		for i := t; i < b; i++ {
+			bigger.items[uint64(i)&bigger.mask].Store(buf.items[uint64(i)&buf.mask].Load())
+		}
+		d.buf.Store(bigger)
+		buf = bigger
+	}
+	buf.items[uint64(b)&buf.mask].Store(f)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the bottom frame, or nil if the deque is
+// empty or the frame was (or is being) stolen. Owner only.
+func (d *Deque) PopBottom() *Frame {
+	d.init()
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Already empty.
+		d.bottom.Store(t)
+		return nil
+	}
+	f := buf.items[uint64(b)&buf.mask].Load()
+	if t == b {
+		// Last frame: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			f = nil // a thief won
+		}
+		d.bottom.Store(t + 1)
+	}
+	return f
+}
+
+// Steal takes the top frame. It returns nil with retry=true when it lost a
+// race and the caller may try again; nil with retry=false when the deque
+// is empty.
+func (d *Deque) Steal() (f *Frame, retry bool) {
+	buf := d.buf.Load()
+	if buf == nil {
+		return nil, false
+	}
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil, false
+	}
+	buf = d.buf.Load()
+	f = buf.items[uint64(t)&buf.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, true
+	}
+	return f, false
+}
+
+// Size reports an instantaneous (racy) element count, for tests and stats.
+func (d *Deque) Size() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package sched implements the work-stealing fork-join scheduler the
+// runtime couples with the memory manager (paper Appendix B).
+//
+// The design follows the lazy-task-creation discipline the paper inherits:
+// forkjoin is cheap — the right-hand thunk is pushed onto the calling
+// worker's Chase–Lev deque as a frame, the left-hand thunk runs inline, and
+// if nobody stole the frame it is popped and also run inline. Only a steal
+// pays for task creation: the thief runs the frame in a fresh context (a
+// new "user-level thread"), and the victim, upon reaching the join, helps —
+// it executes other stealable frames while it waits.
+//
+// The scheduler is memory-manager agnostic: the runtime layer (rts) builds
+// fork-join-with-heaps on top of Push/PopBottom/WaitHelp, and installs a
+// SafePoint hook so that idle and waiting workers participate in
+// stop-the-world rendezvous when a baseline collector needs one.
+package sched

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Frame is one stealable unit of work: the right-hand side of a forkjoin
+// (or a root task). The runtime layer stores the thunk, its context, and
+// its result in the closure; the scheduler only needs to run it once and
+// publish completion.
+type Frame struct {
+	exec func(w *Worker)
+	done atomic.Bool
+}
+
+// NewFrame wraps a closure as a stealable frame.
+func NewFrame(exec func(w *Worker)) *Frame { return &Frame{exec: exec} }
+
+// Done reports whether the frame has finished executing.
+func (f *Frame) Done() bool { return f.done.Load() }
+
+// runOn executes the frame on the given worker and publishes completion.
+func (f *Frame) runOn(w *Worker) {
+	f.exec(w)
+	f.done.Store(true)
+}
+
+// Worker is one scheduler participant, usually pinned 1:1 to a processor.
+type Worker struct {
+	ID    int
+	pool  *Pool
+	deque Deque
+	rng   uint64
+
+	// Steals counts successful steals by this worker.
+	Steals int64
+	// Local is runtime-layer per-worker state (allocation heap, etc.).
+	Local any
+}
+
+// Pool runs a fixed set of workers.
+type Pool struct {
+	workers []*Worker
+	inbox   chan *Frame
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	safePoint atomic.Pointer[func(w *Worker)]
+}
+
+// SetSafePoint installs a hook invoked by idle and waiting workers so the
+// runtime can run stop-the-world rendezvous or bookkeeping.
+func (p *Pool) SetSafePoint(fn func(w *Worker)) { p.safePoint.Store(&fn) }
+
+func (p *Pool) callSafePoint(w *Worker) {
+	if fn := p.safePoint.Load(); fn != nil {
+		(*fn)(w)
+	}
+}
+
+// NewPool creates and starts p workers.
+func NewPool(p int) *Pool {
+	if p < 1 {
+		p = 1
+	}
+	pool := &Pool{inbox: make(chan *Frame, 1024)}
+	pool.workers = make([]*Worker, p)
+	for i := range pool.workers {
+		pool.workers[i] = &Worker{ID: i, pool: pool, rng: uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+	}
+	for _, w := range pool.workers {
+		pool.wg.Add(1)
+		go func(w *Worker) {
+			defer pool.wg.Done()
+			w.loop()
+		}(w)
+	}
+	return pool
+}
+
+// Workers returns the pool's workers.
+func (p *Pool) Workers() []*Worker { return p.workers }
+
+// NumWorkers returns the pool size.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// Submit queues a root frame for any worker.
+func (p *Pool) Submit(f *Frame) { p.inbox <- f }
+
+// RunRoot submits a root frame and blocks the calling (non-worker)
+// goroutine until it completes.
+func (p *Pool) RunRoot(exec func(w *Worker)) {
+	f := NewFrame(exec)
+	p.Submit(f)
+	for spin := 0; !f.Done(); spin++ {
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops all workers and waits for them to exit. Outstanding frames
+// are abandoned; callers should only close an idle pool.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.wg.Wait()
+}
+
+// TotalSteals sums the workers' steal counters.
+func (p *Pool) TotalSteals() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.Steals
+	}
+	return n
+}
+
+func (w *Worker) loop() {
+	idle := 0
+	for !w.pool.closed.Load() {
+		w.pool.callSafePoint(w)
+		if f := w.findWork(); f != nil {
+			idle = 0
+			f.runOn(w)
+			continue
+		}
+		idle++
+		w.idleWait(idle)
+	}
+}
+
+// Push makes a frame stealable on this worker's deque.
+func (w *Worker) Push(f *Frame) { w.deque.Push(f) }
+
+// PopBottom tries to take back the most recently pushed frame.
+func (w *Worker) PopBottom() *Frame { return w.deque.PopBottom() }
+
+// WaitHelp blocks until fr completes, executing other stealable work in the
+// meantime (join with helping / leapfrogging).
+func (w *Worker) WaitHelp(fr *Frame) {
+	idle := 0
+	for !fr.Done() {
+		w.pool.callSafePoint(w)
+		if f := w.findWork(); f != nil {
+			idle = 0
+			f.runOn(w)
+			continue
+		}
+		idle++
+		w.idleWait(idle)
+	}
+}
+
+// findWork looks for a frame: the shared inbox first, then steal attempts
+// against random victims (including this worker's own deque top, which
+// enables leapfrogging during joins).
+func (w *Worker) findWork() *Frame {
+	select {
+	case f := <-w.pool.inbox:
+		return f
+	default:
+	}
+	n := len(w.pool.workers)
+	for attempt := 0; attempt < 2*n; attempt++ {
+		victim := w.pool.workers[w.nextRand()%uint64(n)]
+		f, retry := victim.deque.Steal()
+		for retry {
+			f, retry = victim.deque.Steal()
+		}
+		if f != nil {
+			if victim != w {
+				w.Steals++
+			}
+			return f
+		}
+	}
+	return nil
+}
+
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+func (w *Worker) idleWait(rounds int) {
+	switch {
+	case rounds < 32:
+		runtime.Gosched()
+	case rounds < 64:
+		time.Sleep(time.Microsecond)
+	default:
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,17 @@
+// Package seq implements the immutable sequence library the paper's
+// benchmarks are written against (the Seq module of §2), plus the flat
+// mutable arrays used by the imperative benchmarks.
+//
+// A sequence is a rope: a balanced binary tree whose leaves are flat
+// arrays of up to a grain's worth of elements. Ropes make the benchmark
+// suite's functional operations allocation-friendly and fork-join shaped:
+// tabulate/map/filter build leaves inside the task that computes them, and
+// interior nodes are allocated after the children join — so under
+// hierarchical heaps the entire construction is disentangled and promotes
+// nothing, while under a DLG-style runtime every steal communicates (and
+// therefore promotes) whole subtrees.
+//
+// Rooting discipline: every function that allocates registers the object
+// pointers it holds across the allocation on the task's shadow stack, so
+// any operation may trigger a collection safely.
+package seq

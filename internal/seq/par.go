@@ -1,0 +1,157 @@
+package seq
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// Parallel combinators. All of them thread env — a single managed object
+// carrying every object pointer the leaves need — through the forks, so
+// stolen work always sees valid (possibly promoted) pointers. Callback
+// functions must not capture mem.ObjPtr values; pointers travel in env.
+
+// ParDo runs body over [lo,hi) in parallel, splitting down to grain.
+func ParDo(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Task, env mem.ObjPtr, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		if hi > lo {
+			body(t, env, lo, hi)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	t.ForkJoinScalar(env,
+		func(t *rts.Task, env mem.ObjPtr) uint64 { ParDo(t, env, lo, mid, grain, body); return 0 },
+		func(t *rts.Task, env mem.ObjPtr) uint64 { ParDo(t, env, mid, hi, grain, body); return 0 })
+}
+
+// ParSum folds body's results over [lo,hi) with addition.
+func ParSum(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Task, env mem.ObjPtr, lo, hi int) uint64) uint64 {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		if hi <= lo {
+			return 0
+		}
+		return body(t, env, lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	a, b := t.ForkJoinScalar(env,
+		func(t *rts.Task, env mem.ObjPtr) uint64 { return ParSum(t, env, lo, mid, grain, body) },
+		func(t *rts.Task, env mem.ObjPtr) uint64 { return ParSum(t, env, mid, hi, grain, body) })
+	return a + b
+}
+
+// ParCollect builds a rope whose leaves are produced by leaf over grain-
+// sized ranges. Leaves are allocated by the task that computes them; the
+// interior nodes are allocated after the children join.
+func ParCollect(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, leaf func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr) mem.ObjPtr {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi-lo <= grain {
+		return leaf(t, env, lo, hi)
+	}
+	mid := lo + (hi-lo)/2
+	l, r := t.ForkJoin(env,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return ParCollect(t, env, lo, mid, grain, leaf) },
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return ParCollect(t, env, mid, hi, grain, leaf) })
+	return NewNode(t, l, r)
+}
+
+// TabulateU64 builds the sequence [f(env,0), …, f(env,n-1)] in parallel.
+// f must not allocate (scalar computation over env's data).
+func TabulateU64(t *rts.Task, env mem.ObjPtr, n, grain int, f func(t *rts.Task, env mem.ObjPtr, i int) uint64) mem.ObjPtr {
+	return ParCollect(t, env, 0, n, grain,
+		func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr {
+			mark := t.PushRoot(&env)
+			a := NewLeafU64(t, hi-lo)
+			t.PopRoots(mark)
+			for i := lo; i < hi; i++ {
+				t.WriteInitWord(a, i-lo, f(t, env, i))
+			}
+			return a
+		})
+}
+
+// TabulatePtr builds a pointer sequence in parallel; f may allocate (it
+// typically builds one element object), so the leaf array and env stay
+// rooted across each call.
+func TabulatePtr(t *rts.Task, env mem.ObjPtr, n, grain int, f func(t *rts.Task, env mem.ObjPtr, i int) mem.ObjPtr) mem.ObjPtr {
+	return ParCollect(t, env, 0, n, grain,
+		func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr {
+			mark := t.PushRoot(&env)
+			a := NewLeafPtr(t, hi-lo)
+			t.PushRoot(&a)
+			for i := lo; i < hi; i++ {
+				p := f(t, env, i)
+				t.WriteInitPtr(a, i-lo, p)
+			}
+			t.PopRoots(mark)
+			return a
+		})
+}
+
+// MapU64 applies a scalar function to every element, preserving shape.
+func MapU64(t *rts.Task, s mem.ObjPtr, f func(uint64) uint64) mem.ObjPtr {
+	if !IsNode(s) {
+		n := Length(t, s)
+		mark := t.PushRoot(&s)
+		dst := NewLeafU64(t, n)
+		t.PopRoots(mark)
+		for i := 0; i < n; i++ {
+			t.WriteInitWord(dst, i, f(t.ReadImmWord(s, i)))
+		}
+		return dst
+	}
+	l, r := t.ForkJoin(s,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return MapU64(t, Left(t, env), f) },
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return MapU64(t, Right(t, env), f) })
+	return NewNode(t, l, r)
+}
+
+// ReduceU64 folds the sequence with an associative scalar combine.
+func ReduceU64(t *rts.Task, s mem.ObjPtr, id uint64, combine func(a, b uint64) uint64) uint64 {
+	if !IsNode(s) {
+		acc := id
+		for i, n := 0, Length(t, s); i < n; i++ {
+			acc = combine(acc, t.ReadImmWord(s, i))
+		}
+		return acc
+	}
+	a, b := t.ForkJoinScalar(s,
+		func(t *rts.Task, env mem.ObjPtr) uint64 { return ReduceU64(t, Left(t, env), id, combine) },
+		func(t *rts.Task, env mem.ObjPtr) uint64 { return ReduceU64(t, Right(t, env), id, combine) })
+	return combine(a, b)
+}
+
+// FilterU64 keeps the elements satisfying a scalar predicate.
+func FilterU64(t *rts.Task, s mem.ObjPtr, pred func(uint64) bool) mem.ObjPtr {
+	if !IsNode(s) {
+		n := Length(t, s)
+		kept := 0
+		for i := 0; i < n; i++ {
+			if pred(t.ReadImmWord(s, i)) {
+				kept++
+			}
+		}
+		mark := t.PushRoot(&s)
+		dst := NewLeafU64(t, kept)
+		t.PopRoots(mark)
+		j := 0
+		for i := 0; i < n; i++ {
+			if v := t.ReadImmWord(s, i); pred(v) {
+				t.WriteInitWord(dst, j, v)
+				j++
+			}
+		}
+		return dst
+	}
+	l, r := t.ForkJoin(s,
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return FilterU64(t, Left(t, env), pred) },
+		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return FilterU64(t, Right(t, env), pred) })
+	return NewNode(t, l, r)
+}

@@ -1,0 +1,210 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// DefaultGrain is the default leaf size (elements per leaf).
+const DefaultGrain = 1024
+
+// NewLeafU64 allocates a word leaf of length n (uninitialized).
+func NewLeafU64(t *rts.Task, n int) mem.ObjPtr {
+	return t.Alloc(0, n, mem.TagArrI64)
+}
+
+// NewLeafPtr allocates a pointer leaf of length n (nil-initialized).
+func NewLeafPtr(t *rts.Task, n int) mem.ObjPtr {
+	return t.Alloc(n, 0, mem.TagArrPtr)
+}
+
+// NewNode allocates an interior node over l and r, which must both live in
+// the current task's heap or an ancestor (the post-join discipline).
+func NewNode(t *rts.Task, l, r mem.ObjPtr) mem.ObjPtr {
+	llen, rlen := Length(t, l), Length(t, r)
+	mark := t.PushRoot(&l, &r)
+	n := t.Alloc(2, 1, mem.TagNode)
+	t.PopRoots(mark)
+	t.WriteInitPtr(n, 0, l)
+	t.WriteInitPtr(n, 1, r)
+	t.WriteInitWord(n, 0, uint64(llen+rlen))
+	return n
+}
+
+// IsNode reports whether s is an interior rope node.
+func IsNode(s mem.ObjPtr) bool { return mem.TagOf(s) == mem.TagNode }
+
+// Left returns a node's left child.
+func Left(t *rts.Task, s mem.ObjPtr) mem.ObjPtr { return t.ReadImmPtr(s, 0) }
+
+// Right returns a node's right child.
+func Right(t *rts.Task, s mem.ObjPtr) mem.ObjPtr { return t.ReadImmPtr(s, 1) }
+
+// Length returns the number of elements in a sequence (rope or leaf).
+func Length(t *rts.Task, s mem.ObjPtr) int {
+	switch mem.TagOf(s) {
+	case mem.TagNode:
+		return int(t.ReadImmWord(s, 0))
+	case mem.TagArrPtr:
+		return mem.NumPtrFields(s)
+	case mem.TagArrI64:
+		return mem.NumNonptrWords(s)
+	default:
+		panic(fmt.Sprintf("seq: not a sequence: %v tag %v", s, mem.TagOf(s)))
+	}
+}
+
+// GetU64 returns element i of a word sequence (O(depth)).
+func GetU64(t *rts.Task, s mem.ObjPtr, i int) uint64 {
+	for IsNode(s) {
+		l := Left(t, s)
+		if ll := Length(t, l); i < ll {
+			s = l
+		} else {
+			i -= ll
+			s = Right(t, s)
+		}
+	}
+	return t.ReadImmWord(s, i)
+}
+
+// GetPtr returns element i of a pointer sequence (O(depth)).
+func GetPtr(t *rts.Task, s mem.ObjPtr, i int) mem.ObjPtr {
+	for IsNode(s) {
+		l := Left(t, s)
+		if ll := Length(t, l); i < ll {
+			s = l
+		} else {
+			i -= ll
+			s = Right(t, s)
+		}
+	}
+	return t.ReadImmPtr(s, i)
+}
+
+// ToFlatU64 flattens a word sequence into a single fresh leaf array.
+func ToFlatU64(t *rts.Task, s mem.ObjPtr) mem.ObjPtr {
+	n := Length(t, s)
+	mark := t.PushRoot(&s)
+	dst := NewLeafU64(t, n)
+	t.PopRoots(mark)
+	off := 0
+	copyLeavesU64(t, s, dst, &off)
+	return dst
+}
+
+// copyLeavesU64 walks the rope left to right copying elements into dst
+// starting at *off. It allocates nothing.
+func copyLeavesU64(t *rts.Task, s, dst mem.ObjPtr, off *int) {
+	if IsNode(s) {
+		copyLeavesU64(t, Left(t, s), dst, off)
+		copyLeavesU64(t, Right(t, s), dst, off)
+		return
+	}
+	n := Length(t, s)
+	for i := 0; i < n; i++ {
+		t.WriteInitWord(dst, *off+i, t.ReadImmWord(s, i))
+	}
+	*off += n
+}
+
+// subLeafU64 copies [lo,hi) of a word leaf into a fresh leaf.
+func subLeafU64(t *rts.Task, s mem.ObjPtr, lo, hi int) mem.ObjPtr {
+	mark := t.PushRoot(&s)
+	dst := NewLeafU64(t, hi-lo)
+	t.PopRoots(mark)
+	for i := lo; i < hi; i++ {
+		t.WriteInitWord(dst, i-lo, t.ReadImmWord(s, i))
+	}
+	return dst
+}
+
+// Split divides a word sequence at k: the result sequences cover [0,k) and
+// [k,n). Interior structure is shared; at most one leaf per side is copied.
+func Split(t *rts.Task, s mem.ObjPtr, k int) (mem.ObjPtr, mem.ObjPtr) {
+	n := Length(t, s)
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("seq: split index %d out of range %d", k, n))
+	}
+	return splitRec(t, s, k)
+}
+
+func splitRec(t *rts.Task, s mem.ObjPtr, k int) (mem.ObjPtr, mem.ObjPtr) {
+	if !IsNode(s) {
+		n := Length(t, s)
+		switch k {
+		case 0:
+			mark := t.PushRoot(&s)
+			empty := NewLeafU64(t, 0)
+			t.PopRoots(mark)
+			return empty, s
+		case n:
+			mark := t.PushRoot(&s)
+			empty := NewLeafU64(t, 0)
+			t.PopRoots(mark)
+			return s, empty
+		default:
+			l := subLeafU64(t, s, 0, k)
+			mark := t.PushRoot(&l, &s)
+			r := subLeafU64(t, s, k, n)
+			t.PopRoots(mark)
+			return l, r
+		}
+	}
+	l, r := Left(t, s), Right(t, s)
+	ll := Length(t, l)
+	switch {
+	case k == ll:
+		return l, r
+	case k < ll:
+		mark := t.PushRoot(&r) // live across the allocating recursion
+		a, b := splitRec(t, l, k)
+		t.PushRoot(&a)
+		rest := NewNode(t, b, r)
+		t.PopRoots(mark)
+		return a, rest
+	default:
+		mark := t.PushRoot(&l)
+		a, b := splitRec(t, r, k-ll)
+		t.PushRoot(&b)
+		front := NewNode(t, l, a)
+		t.PopRoots(mark)
+		return front, b
+	}
+}
+
+// SplitMid divides a sequence at its midpoint (Figure 1's Seq.splitMid).
+func SplitMid(t *rts.Task, s mem.ObjPtr) (mem.ObjPtr, mem.ObjPtr) {
+	return Split(t, s, Length(t, s)/2)
+}
+
+// Checksum folds a word sequence into an order-sensitive digest, for
+// validating benchmark outputs.
+func Checksum(t *rts.Task, s mem.ObjPtr) uint64 {
+	var sum uint64 = 14695981039346656037
+	foldLeaves(t, s, &sum)
+	return sum
+}
+
+func foldLeaves(t *rts.Task, s mem.ObjPtr, sum *uint64) {
+	if IsNode(s) {
+		foldLeaves(t, Left(t, s), sum)
+		foldLeaves(t, Right(t, s), sum)
+		return
+	}
+	n := Length(t, s)
+	for i := 0; i < n; i++ {
+		*sum = (*sum ^ t.ReadImmWord(s, i)) * 1099511628211
+	}
+}
+
+// Hash64 is the suite's input generator: a 64-bit mix of the index
+// (the "elements generated randomly with a hash function" of §4).
+func Hash64(i uint64) uint64 {
+	x := i + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

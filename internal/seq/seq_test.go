@@ -1,0 +1,359 @@
+package seq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gc"
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// runOn executes fn on a fresh runtime with an aggressive GC policy.
+func runOn(t *testing.T, mode rts.Mode, procs int, fn func(task *rts.Task) uint64) uint64 {
+	t.Helper()
+	cfg := rts.DefaultConfig(mode, procs)
+	cfg.Policy = gc.Policy{MinWords: 4096, Ratio: 1.5}
+	cfg.STWFloorBytes = 1 << 18
+	r := rts.New(cfg)
+	defer r.Close()
+	return r.Run(fn)
+}
+
+// toGo reads a word sequence into a Go slice.
+func toGo(t *rts.Task, s mem.ObjPtr) []uint64 {
+	n := Length(t, s)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = GetU64(t, s, i)
+	}
+	return out
+}
+
+func goChecksum(vals []uint64) uint64 {
+	var sum uint64 = 14695981039346656037
+	for _, v := range vals {
+		sum = (sum ^ v) * 1099511628211
+	}
+	return sum
+}
+
+var testModes = []rts.Mode{rts.ParMem, rts.STW, rts.Seq, rts.Manticore}
+
+func TestTabulateMatchesReference(t *testing.T) {
+	const n, grain = 5000, 64
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = Hash64(uint64(i))
+	}
+	for _, mode := range testModes {
+		procs := 2
+		if mode == rts.Seq {
+			procs = 1
+		}
+		got := runOn(t, mode, procs, func(task *rts.Task) uint64 {
+			s := TabulateU64(task, mem.NilPtr, n, grain,
+				func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return Hash64(uint64(i)) })
+			if Length(task, s) != n {
+				return 0
+			}
+			return Checksum(task, s)
+		})
+		if got != goChecksum(want) {
+			t.Fatalf("%v: tabulate checksum mismatch", mode)
+		}
+	}
+}
+
+func TestMapReduceFilter(t *testing.T) {
+	const n, grain = 4000, 32
+	ref := make([]uint64, n)
+	for i := range ref {
+		ref[i] = Hash64(uint64(i))
+	}
+	var refSum uint64
+	var refKept []uint64
+	for _, v := range ref {
+		refSum += v*2 + 1
+		if v%3 == 0 {
+			refKept = append(refKept, v)
+		}
+	}
+	for _, mode := range testModes {
+		procs := 2
+		if mode == rts.Seq {
+			procs = 1
+		}
+		ok := runOn(t, mode, procs, func(task *rts.Task) uint64 {
+			s := TabulateU64(task, mem.NilPtr, n, grain,
+				func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return Hash64(uint64(i)) })
+			mark := task.PushRoot(&s)
+			m := MapU64(task, s, func(v uint64) uint64 { return v*2 + 1 })
+			task.PushRoot(&m)
+			if got := ReduceU64(task, m, 0, func(a, b uint64) uint64 { return a + b }); got != refSum {
+				return 0
+			}
+			kept := FilterU64(task, s, func(v uint64) bool { return v%3 == 0 })
+			task.PushRoot(&kept)
+			okC := Checksum(task, kept) == goChecksum(refKept)
+			task.PopRoots(mark)
+			if !okC {
+				return 0
+			}
+			return 1
+		})
+		if ok != 1 {
+			t.Fatalf("%v: map/reduce/filter mismatch", mode)
+		}
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	f := func(seed int64, szRaw, kRaw uint16) bool {
+		n := int(szRaw)%3000 + 1
+		k := int(kRaw) % (n + 1)
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64()
+		}
+		ok := runOn(t, rts.ParMem, 2, func(task *rts.Task) uint64 {
+			s := TabulateU64(task, mem.NilPtr, n, 37,
+				func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return vals[i] })
+			mark := task.PushRoot(&s)
+			l, r := Split(task, s, k)
+			task.PopRoots(mark)
+			if Length(task, l) != k || Length(task, r) != n-k {
+				return 0
+			}
+			if goChecksum(vals[:k]) != Checksum(task, l) {
+				return 0
+			}
+			if goChecksum(vals[k:]) != Checksum(task, r) {
+				return 0
+			}
+			return 1
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToFlatAndGet(t *testing.T) {
+	const n = 2500
+	ok := runOn(t, rts.ParMem, 2, func(task *rts.Task) uint64 {
+		s := TabulateU64(task, mem.NilPtr, n, 100,
+			func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return uint64(i) * 7 })
+		mark := task.PushRoot(&s)
+		flat := ToFlatU64(task, s)
+		task.PopRoots(mark)
+		if Length(task, flat) != n || IsNode(flat) {
+			return 0
+		}
+		for i := 0; i < n; i += 97 {
+			if task.ReadImmWord(flat, i) != uint64(i)*7 || GetU64(task, s, i) != uint64(i)*7 {
+				return 0
+			}
+		}
+		return 1
+	})
+	if ok != 1 {
+		t.Fatal("flatten/get mismatch")
+	}
+}
+
+func TestQuickSortInPlace(t *testing.T) {
+	f := func(seed int64, szRaw uint16) bool {
+		n := int(szRaw)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % 500 // duplicates likely
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ok := runOn(t, rts.Seq, 1, func(task *rts.Task) uint64 {
+			arr := NewLeafU64(task, n)
+			for i, v := range vals {
+				task.WriteInitWord(arr, i, v)
+			}
+			QuickSortInPlace(task, arr, 0, n)
+			if goChecksum(sorted) != Checksum(task, arr) {
+				return 0
+			}
+			return 1
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPureQSort(t *testing.T) {
+	f := func(seed int64, szRaw uint16) bool {
+		n := int(szRaw) % 800
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % 300
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ok := runOn(t, rts.Seq, 1, func(task *rts.Task) uint64 {
+			arr := NewLeafU64(task, n)
+			for i, v := range vals {
+				task.WriteInitWord(arr, i, v)
+			}
+			mark := task.PushRoot(&arr)
+			res := PureQSortFlat(task, arr)
+			task.PopRoots(mark)
+			if goChecksum(sorted) != Checksum(task, res) {
+				return 0
+			}
+			return 1
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFlatSorted(t *testing.T) {
+	f := func(seed int64, naRaw, nbRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		na, nb := int(naRaw)%200, int(nbRaw)%200
+		a := make([]uint64, na)
+		b := make([]uint64, nb)
+		for i := range a {
+			a[i] = rng.Uint64() % 1000
+		}
+		for i := range b {
+			b[i] = rng.Uint64() % 1000
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		merged := append(append([]uint64(nil), a...), b...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		ok := runOn(t, rts.Seq, 1, func(task *rts.Task) uint64 {
+			pa := NewLeafU64(task, na)
+			for i, v := range a {
+				task.WriteInitWord(pa, i, v)
+			}
+			mark := task.PushRoot(&pa)
+			pb := NewLeafU64(task, nb)
+			task.PushRoot(&pb)
+			for i, v := range b {
+				task.WriteInitWord(pb, i, v)
+			}
+			res := MergeFlatSorted(task, pa, pb)
+			task.PopRoots(mark)
+			if Checksum(task, res) != goChecksum(merged) {
+				return 0
+			}
+			return 1
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDedupAndMergeDedup(t *testing.T) {
+	f := func(seed int64, szRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw)%600 + 1
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % 50 // heavy duplication
+		}
+		uniq := map[uint64]bool{}
+		for _, v := range vals {
+			uniq[v] = true
+		}
+		var want []uint64
+		for v := range uniq {
+			want = append(want, v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		ok := runOn(t, rts.Seq, 1, func(task *rts.Task) uint64 {
+			arr := NewLeafU64(task, n)
+			for i, v := range vals {
+				task.WriteInitWord(arr, i, v)
+			}
+			mark := task.PushRoot(&arr)
+			half := n / 2
+			a := subLeafU64(task, arr, 0, half)
+			task.PushRoot(&a)
+			b := subLeafU64(task, arr, half, n)
+			task.PushRoot(&b)
+			da := HashDedupSortFlat(task, a)
+			task.PushRoot(&da)
+			db := HashDedupSortFlat(task, b)
+			task.PushRoot(&db)
+			res := MergeDedupFlat(task, da, db)
+			task.PopRoots(mark)
+			if Checksum(task, res) != goChecksum(want) {
+				return 0
+			}
+			return 1
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTabulatePtr(t *testing.T) {
+	const n = 600
+	ok := runOn(t, rts.ParMem, 2, func(task *rts.Task) uint64 {
+		s := TabulatePtr(task, mem.NilPtr, n, 16,
+			func(t *rts.Task, _ mem.ObjPtr, i int) mem.ObjPtr {
+				p := t.Alloc(0, 1, mem.TagRef)
+				t.WriteInitWord(p, 0, uint64(i)*3)
+				return p
+			})
+		for i := 0; i < n; i += 17 {
+			p := GetPtr(task, s, i)
+			if task.ReadImmWord(p, 0) != uint64(i)*3 {
+				return 0
+			}
+		}
+		return 1
+	})
+	if ok != 1 {
+		t.Fatal("tabulate-ptr mismatch")
+	}
+}
+
+func TestParDoAndParSum(t *testing.T) {
+	const n = 3000
+	got := runOn(t, rts.ParMem, 2, func(task *rts.Task) uint64 {
+		arr := task.AllocMut(0, n, mem.TagArrI64)
+		mark := task.PushRoot(&arr)
+		ParDo(task, arr, 0, n, 64, func(t *rts.Task, env mem.ObjPtr, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				t.WriteNonptr(env, i, uint64(i))
+			}
+		})
+		sum := ParSum(task, arr, 0, n, 64, func(t *rts.Task, env mem.ObjPtr, lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += t.ReadMutWord(env, i)
+			}
+			return s
+		})
+		task.PopRoots(mark)
+		return sum
+	})
+	if got != uint64(n*(n-1)/2) {
+		t.Fatalf("parsum = %d", got)
+	}
+}

@@ -1,0 +1,265 @@
+package seq
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// Sorting kernels for the msort family (§2, §4.1–4.2). The imperative
+// quicksort works in place on a flat array through the runtime's mutable
+// operations — the "fast sequential algorithm on small inputs" idiom whose
+// efficiency the paper's design protects (local non-pointer writes). The
+// pure quicksort allocates fresh arrays at every partition, which is why
+// msort-pure trades speed for purity.
+
+// InsertionSortFlat sorts arr[lo:hi) in place (used below a small cutoff).
+func InsertionSortFlat(t *rts.Task, arr mem.ObjPtr, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		v := t.ReadMutWord(arr, i)
+		j := i - 1
+		for j >= lo && t.ReadMutWord(arr, j) > v {
+			t.WriteNonptr(arr, j+1, t.ReadMutWord(arr, j))
+			j--
+		}
+		t.WriteNonptr(arr, j+1, v)
+	}
+}
+
+// QuickSortInPlace sorts the flat word array arr[lo:hi) in place.
+func QuickSortInPlace(t *rts.Task, arr mem.ObjPtr, lo, hi int) {
+	for hi-lo > 16 {
+		// median-of-three pivot
+		a := t.ReadMutWord(arr, lo)
+		b := t.ReadMutWord(arr, (lo+hi)/2)
+		c := t.ReadMutWord(arr, hi-1)
+		pivot := medianOf3(a, b, c)
+
+		i, j := lo, hi-1
+		for i <= j {
+			for t.ReadMutWord(arr, i) < pivot {
+				i++
+			}
+			for t.ReadMutWord(arr, j) > pivot {
+				j--
+			}
+			if i <= j {
+				vi, vj := t.ReadMutWord(arr, i), t.ReadMutWord(arr, j)
+				t.WriteNonptr(arr, i, vj)
+				t.WriteNonptr(arr, j, vi)
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			QuickSortInPlace(t, arr, lo, j+1)
+			lo = i
+		} else {
+			QuickSortInPlace(t, arr, i, hi)
+			hi = j + 1
+		}
+	}
+	InsertionSortFlat(t, arr, lo, hi)
+}
+
+func medianOf3(a, b, c uint64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// PureQSortFlat functionally sorts a flat array: every partition allocates
+// fresh arrays (msort-pure's sequential base case).
+func PureQSortFlat(t *rts.Task, s mem.ObjPtr) mem.ObjPtr {
+	n := Length(t, s)
+	if n <= 1 {
+		return s
+	}
+	pivot := t.ReadImmWord(s, n/2)
+	mark := t.PushRoot(&s) // callee copies are rooted independently
+	lt := filterFlat(t, s, func(v uint64) bool { return v < pivot })
+	t.PushRoot(&lt)
+	gt := filterFlat(t, s, func(v uint64) bool { return v > pivot })
+	t.PushRoot(&gt)
+	ltS := PureQSortFlat(t, lt)
+	t.PushRoot(&ltS)
+	gtS := PureQSortFlat(t, gt)
+	t.PushRoot(&gtS)
+	dst := NewLeafU64(t, n)
+	// Concatenate ltS ++ pivots ++ gtS.
+	k := 0
+	for i, m := 0, Length(t, ltS); i < m; i++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(ltS, i))
+		k++
+	}
+	for i := 0; i < n; i++ {
+		if t.ReadImmWord(s, i) == pivot {
+			t.WriteInitWord(dst, k, pivot)
+			k++
+		}
+	}
+	for i, m := 0, Length(t, gtS); i < m; i++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(gtS, i))
+		k++
+	}
+	t.PopRoots(mark)
+	return dst
+}
+
+func filterFlat(t *rts.Task, s mem.ObjPtr, pred func(uint64) bool) mem.ObjPtr {
+	n := Length(t, s)
+	kept := 0
+	for i := 0; i < n; i++ {
+		if pred(t.ReadImmWord(s, i)) {
+			kept++
+		}
+	}
+	mark := t.PushRoot(&s)
+	dst := NewLeafU64(t, kept)
+	t.PopRoots(mark)
+	j := 0
+	for i := 0; i < n; i++ {
+		if v := t.ReadImmWord(s, i); pred(v) {
+			t.WriteInitWord(dst, j, v)
+			j++
+		}
+	}
+	return dst
+}
+
+// MergeFlatSorted merges two sorted flat arrays into a fresh sorted array
+// (Figure 1's Seq.merge at the joins of msort).
+func MergeFlatSorted(t *rts.Task, a, b mem.ObjPtr) mem.ObjPtr {
+	na, nb := Length(t, a), Length(t, b)
+	mark := t.PushRoot(&a, &b)
+	dst := NewLeafU64(t, na+nb)
+	t.PopRoots(mark)
+	i, j, k := 0, 0, 0
+	for i < na && j < nb {
+		va, vb := t.ReadImmWord(a, i), t.ReadImmWord(b, j)
+		if va <= vb {
+			t.WriteInitWord(dst, k, va)
+			i++
+		} else {
+			t.WriteInitWord(dst, k, vb)
+			j++
+		}
+		k++
+	}
+	for ; i < na; i++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(a, i))
+		k++
+	}
+	for ; j < nb; j++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(b, j))
+		k++
+	}
+	return dst
+}
+
+// MergeDedupFlat merges two sorted duplicate-free flat arrays, dropping
+// cross-array duplicates (dedup's join step).
+func MergeDedupFlat(t *rts.Task, a, b mem.ObjPtr) mem.ObjPtr {
+	na, nb := Length(t, a), Length(t, b)
+	// Counting pass for the exact output size.
+	n := 0
+	i, j := 0, 0
+	for i < na && j < nb {
+		va, vb := t.ReadImmWord(a, i), t.ReadImmWord(b, j)
+		switch {
+		case va < vb:
+			i++
+		case vb < va:
+			j++
+		default:
+			i++
+			j++
+		}
+		n++
+	}
+	n += (na - i) + (nb - j)
+
+	mark := t.PushRoot(&a, &b)
+	dst := NewLeafU64(t, n)
+	t.PopRoots(mark)
+	i, j = 0, 0
+	k := 0
+	for i < na && j < nb {
+		va, vb := t.ReadImmWord(a, i), t.ReadImmWord(b, j)
+		switch {
+		case va < vb:
+			t.WriteInitWord(dst, k, va)
+			i++
+		case vb < va:
+			t.WriteInitWord(dst, k, vb)
+			j++
+		default:
+			t.WriteInitWord(dst, k, va)
+			i++
+			j++
+		}
+		k++
+	}
+	for ; i < na; i++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(a, i))
+		k++
+	}
+	for ; j < nb; j++ {
+		t.WriteInitWord(dst, k, t.ReadImmWord(b, j))
+		k++
+	}
+	return dst
+}
+
+// HashDedupSortFlat returns the sorted unique elements of a flat array by
+// inserting into a local open-addressing hash set and sorting the survivors
+// in place (dedup's sequential base case: imperative local writes).
+func HashDedupSortFlat(t *rts.Task, s mem.ObjPtr) mem.ObjPtr {
+	n := Length(t, s)
+	capacity := 16
+	for capacity < 2*n {
+		capacity *= 2
+	}
+	mark := t.PushRoot(&s)
+	tbl := NewLeafU64(t, capacity)
+	t.PushRoot(&tbl)
+	flags := NewLeafU64(t, capacity)
+	t.PushRoot(&flags)
+
+	unique := 0
+	maskBits := capacity - 1
+	for i := 0; i < n; i++ {
+		v := t.ReadImmWord(s, i)
+		j := int(Hash64(v)) & maskBits
+		for {
+			if t.ReadMutWord(flags, j) == 0 {
+				t.WriteNonptr(flags, j, 1)
+				t.WriteNonptr(tbl, j, v)
+				unique++
+				break
+			}
+			if t.ReadMutWord(tbl, j) == v {
+				break
+			}
+			j = (j + 1) & maskBits
+		}
+	}
+	dst := NewLeafU64(t, unique)
+	t.PopRoots(mark)
+	k := 0
+	for j := 0; j < capacity; j++ {
+		if t.ReadMutWord(flags, j) == 1 {
+			t.WriteInitWord(dst, k, t.ReadMutWord(tbl, j))
+			k++
+		}
+	}
+	QuickSortInPlace(t, dst, 0, unique)
+	return dst
+}
