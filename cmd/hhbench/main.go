@@ -8,6 +8,7 @@
 //	hhbench -table fig13              # memory consumption (Figure 13)
 //	hhbench -table fig9               # representative operations
 //	hhbench -table fig8               # operation cost matrix
+//	hhbench -table zones              # zone-collection concurrency (parmem)
 //	hhbench -table all                # everything
 //	hhbench -bench msort,usp-tree ... # subset of benchmarks
 //	hhbench -paper                    # the paper's original problem sizes
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|all")
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|all")
 	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	names := flag.String("bench", "", "comma-separated benchmark subset")
@@ -61,6 +62,8 @@ func main() {
 			run(tb, func() error { return report.Fig12(w, opts) })
 		case "fig13":
 			run(tb, func() error { return report.Fig13(w, opts) })
+		case "zones":
+			run(tb, func() error { return report.ZoneTable(w, opts) })
 		case "all":
 			run("fig8", func() error { return report.Fig8(w, *iters) })
 			run("fig9", func() error { return report.Fig9(w, opts) })
@@ -68,6 +71,7 @@ func main() {
 			run("fig11", func() error { return report.Fig11(w, opts) })
 			run("fig12", func() error { return report.Fig12(w, opts) })
 			run("fig13", func() error { return report.Fig13(w, opts) })
+			run("zones", func() error { return report.ZoneTable(w, opts) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %q\n", tb)
 			os.Exit(2)

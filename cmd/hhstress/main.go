@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/gc"
 	"repro/internal/mem"
@@ -21,32 +22,58 @@ func main() {
 	rounds := flag.Int("rounds", 20, "stress rounds")
 	slots := flag.Int("slots", 64, "shared list-head slots")
 	writes := flag.Int("writes", 400, "writes per slot per round")
+	live := flag.Int("live", 1000, "task-local live cells kept across the writes (leaf-zone copy work)")
 	procs := flag.Int("procs", runtime.NumCPU(), "workers")
+	maxZones := flag.Int("max-zones", 0, "cap on concurrent zone collections (0 = one per worker, 1 = serialized ablation)")
 	flag.Parse()
+	// The pool simulates *procs processors; give the Go scheduler as many,
+	// so disjoint zone collections can actually overlap in wall time.
+	runtime.GOMAXPROCS(*procs)
 
 	cfg := rts.DefaultConfig(rts.ParMem, *procs)
 	// Failure injection: collect constantly so promotions, collections,
 	// and forwarding-chain maintenance interleave as much as possible.
 	cfg.Policy = gc.Policy{MinWords: 2048, Ratio: 1.25}
+	cfg.MaxConcurrentZones = *maxZones
 
+	var peakZones int64
 	for round := 0; round < *rounds; round++ {
 		r := rts.New(cfg)
 		ok := r.Run(func(t *rts.Task) uint64 {
 			arr := t.AllocMut(*slots, 0, mem.TagArrPtr)
 			mark := t.PushRoot(&arr)
-			nw := *writes
+			nw, nl := *writes, *live
 			seq.ParDo(t, arr, 0, *slots, 1,
 				func(t *rts.Task, env mem.ObjPtr, lo, hi int) {
 					for s := lo; s < hi; s++ {
+						// A task-local live list: it is copied by every
+						// leaf-zone collection of this task's heap, so
+						// collections are substantial enough to overlap
+						// with sibling zones and with promotions.
+						local := mem.NilPtr
+						m := t.PushRoot(&env, &local)
+						for i := 0; i < nl; i++ {
+							cons := t.Alloc(1, 1, mem.TagCons)
+							t.WriteInitWord(cons, 0, uint64(i))
+							t.WriteInitPtr(cons, 0, local)
+							local = cons
+						}
 						for i := 0; i < nw; i++ {
 							head := t.ReadMutPtr(env, s)
-							m := t.PushRoot(&env, &head)
+							m2 := t.PushRoot(&head)
 							cons := t.Alloc(1, 1, mem.TagCons)
-							t.PopRoots(m)
+							t.PopRoots(m2)
 							t.WriteInitWord(cons, 0, uint64(s)<<32|uint64(i))
 							t.WriteInitPtr(cons, 0, head)
 							t.WritePtr(env, s, cons)
 						}
+						for i, p := nl-1, local; i >= 0; i-- {
+							if p.IsNil() || t.ReadImmWord(p, 0) != uint64(i) {
+								panic("hhstress: task-local live list corrupted")
+							}
+							p = t.ReadImmPtr(p, 0)
+						}
+						t.PopRoots(m)
 					}
 				})
 			// Validate every list: full length, descending insertion order.
@@ -79,8 +106,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "round %d: %d chunks leaked\n", round, mem.ChunksInUse())
 			os.Exit(1)
 		}
-		fmt.Printf("round %2d ok: %6d promotions, %4d collections, %3d steals, %5d master retries\n",
-			round, st.Ops.Promotions, st.GC.Collections, st.Steals, st.Ops.FindMasterRetries)
+		if st.Zones.MaxConcurrent > peakZones {
+			peakZones = st.Zones.MaxConcurrent
+		}
+		fmt.Printf("round %2d ok: %6d promotions, %4d collections (%d leaf + %d join zones, max %d concurrent, %s overlap), %3d steals, %5d master retries\n",
+			round, st.Ops.Promotions, st.GC.Collections,
+			st.Zones.LeafZones, st.Zones.JoinZones, st.Zones.MaxConcurrent,
+			time.Duration(st.Zones.OverlapNanos).Round(time.Microsecond),
+			st.Steals, st.Ops.FindMasterRetries)
 	}
-	fmt.Println("stress complete: disentanglement and data integrity held")
+	fmt.Printf("stress complete: disentanglement and data integrity held; peak concurrent zones %d\n", peakZones)
 }

@@ -10,16 +10,7 @@ import (
 // IsAncestorOrSelf reports whether anc is h or an ancestor of h in the
 // heap hierarchy (both resolved through joins).
 func IsAncestorOrSelf(anc, h *heap.Heap) bool {
-	anc = anc.Resolve()
-	for x := h.Resolve(); x != nil; x = x.Parent() {
-		if x == anc {
-			return true
-		}
-		if x.Depth() < anc.Depth() {
-			return false
-		}
-	}
-	return false
+	return anc.IsAncestorOf(h)
 }
 
 // EntanglementError describes a pointer that violates disentanglement.

@@ -22,8 +22,10 @@ import (
 //  3. Unlock the path, shallowest first.
 //
 // Deadlock freedom: all multi-heap acquisitions in the system climb the
-// hierarchy bottom-up, and lock waits therefore only target heaps strictly
-// shallower than any lock held.
+// hierarchy bottom-up — this path, and equally a zone collection's
+// heap.LockZone, which write-locks its (disjointly admitted) zone deepest
+// first — and lock waits therefore only target heaps strictly shallower
+// than any lock held.
 func writePromote(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	src := heap.Of(ptr)
 	target := heap.Of(obj)

@@ -1,5 +1,5 @@
 // Package gc implements the promotion-aware semispace collection of the
-// paper's Appendix A.
+// paper's Appendix A and the concurrent zone scheduling of §3.4.
 //
 // A collection targets a zone: a heap and (optionally) its live
 // descendants, each of which gets a to-space twin. Objects reachable from
@@ -14,11 +14,22 @@
 //  3. a chain ending at an unforwarded object inside the zone means the
 //     object is live and still local — copy it into its heap's twin.
 //
-// Because the collector never follows forwarding pointers of objects
-// outside the zone, no heap locks are required: disentanglement guarantees
-// nothing outside the zone references into it, and the zone's tasks are
-// suspended (a leaf collection is run by the leaf's own task at an
-// allocation safe point).
+// The Collector keeps no package-level state, so collections of disjoint
+// zones are free to run concurrently — with each other and with mutator
+// work outside their zones. The ZoneScheduler turns that freedom into a
+// discipline: it admits a zone only while no in-flight collection holds
+// any of its heaps, enforces the configured concurrency cap, and records
+// how many zones actually overlapped (ZoneStats: counts by kind, peak
+// concurrency, overlap wall time).
+//
+// Lock ordering: a zone collection write-locks its heaps deepest-first
+// (heap.LockZone) before copying and releases them shallowest-first — the
+// same bottom-up climb the promotion path uses — so collections,
+// promotions, and findMaster readers compose without deadlock. In a
+// disentangled execution no other task can even reference into a zone
+// (the zone has no live descendants), so the locks are uncontended; they
+// exist to serialize, rather than corrupt, should entanglement ever leak
+// a pointer inside.
 //
 // The package also provides the collection trigger policy and the
 // stop-the-world whole-heap collection used by the sequential and

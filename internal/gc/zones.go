@@ -1,0 +1,183 @@
+package gc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// Concurrent zone scheduling (paper §3.4): disjoint subtrees of the heap
+// hierarchy — zones — may be collected simultaneously with each other and
+// with mutator work. The collector itself (collect.go) is re-entrant: it
+// keeps no package-level state, so any number of Collectors can run at
+// once as long as their zones share no heap. The ZoneScheduler provides
+// that guarantee: it admits a zone only when no in-flight collection holds
+// any of its heaps, caps the number of simultaneous collections, and
+// measures how much concurrency the runtime actually achieved.
+//
+// A collecting task never parks the world. It holds exactly its zone's
+// write locks (heap.LockZone, deepest first), so tasks in other subtrees
+// keep allocating, mutating, promoting, and stealing throughout.
+
+// ZoneKind classifies a zone collection for the statistics.
+type ZoneKind int
+
+const (
+	// LeafZone is a collection of a task's current leaf heap, triggered at
+	// an allocation safe point.
+	LeafZone ZoneKind = iota
+	// JoinZone is an internal-node collection: at a join, the child heap
+	// has been merged into its parent and the merged ancestor — now free
+	// of live descendants — is collected as a zone.
+	JoinZone
+)
+
+func (k ZoneKind) String() string {
+	if k == JoinZone {
+		return "join"
+	}
+	return "leaf"
+}
+
+// ZoneStats aggregates a scheduler's lifetime zone-collection behaviour.
+type ZoneStats struct {
+	Zones         int64 // zone collections completed
+	LeafZones     int64 // collections of leaf heaps at allocation safe points
+	JoinZones     int64 // internal-node collections of merged ancestors at joins
+	WordsCopied   int64 // words copied by zone collections
+	ZoneNanos     int64 // summed wall time spent inside zone collections
+	OverlapNanos  int64 // wall time during which >= 2 zones were in flight
+	MaxConcurrent int64 // peak number of zones in flight at once
+}
+
+// ZoneScheduler admits disjoint zone collections and accounts for their
+// overlap. One scheduler serves one runtime.
+type ZoneScheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxZones int                     // admission cap; <= 0 means unlimited
+	active   map[*heap.Heap]struct{} // heaps of in-flight zones
+	nActive  int                     // in-flight zone count
+	overlap  time.Time               // start of the current >=2-zone span
+
+	stats ZoneStats
+}
+
+// NewZoneScheduler creates a scheduler admitting at most maxConcurrent
+// zones at once (<= 0 for no cap beyond disjointness).
+func NewZoneScheduler(maxConcurrent int) *ZoneScheduler {
+	s := &ZoneScheduler{maxZones: maxConcurrent, active: make(map[*heap.Heap]struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// overlaps reports whether any zone heap is part of an in-flight zone.
+// Caller holds s.mu.
+func (s *ZoneScheduler) overlaps(zone []*heap.Heap) bool {
+	for _, h := range zone {
+		if _, busy := s.active[h]; busy {
+			return true
+		}
+	}
+	return false
+}
+
+// Admit blocks until the zone is disjoint from every in-flight collection
+// and an admission slot is free, then marks it in flight. Admission holds
+// no heap locks while waiting, so it cannot deadlock against collectors or
+// promoters; in a disentangled hierarchy two live tasks never build
+// overlapping zones, so waiting here indicates either the admission cap or
+// a (tolerated, serialized) zone-construction bug.
+func (s *ZoneScheduler) Admit(zone []*heap.Heap) {
+	s.mu.Lock()
+	for s.overlaps(zone) || (s.maxZones > 0 && s.nActive >= s.maxZones) {
+		s.cond.Wait()
+	}
+	for _, h := range zone {
+		s.active[h] = struct{}{}
+	}
+	s.nActive++
+	if int64(s.nActive) > s.stats.MaxConcurrent {
+		s.stats.MaxConcurrent = int64(s.nActive)
+	}
+	if s.nActive == 2 {
+		s.overlap = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Release takes the zone out of flight and wakes waiting admissions.
+func (s *ZoneScheduler) Release(zone []*heap.Heap) {
+	s.mu.Lock()
+	for _, h := range zone {
+		if _, busy := s.active[h]; !busy {
+			s.mu.Unlock()
+			panic(fmt.Sprintf("gc: releasing heap %v that is not in flight", h))
+		}
+		delete(s.active, h)
+	}
+	if s.nActive == 2 {
+		s.stats.OverlapNanos += time.Since(s.overlap).Nanoseconds()
+	}
+	s.nActive--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// CollectZone runs one concurrent zone collection: admission, zone write
+// locks (canonical deepest-first order), the promotion-aware copy over the
+// given roots, then release. It returns the collection's statistics.
+//
+// The write locks are what lets this run concurrently with everything
+// outside the zone: findMaster read-locks and promotion write-locks target
+// only heaps on the *caller's* own root-path, and disentanglement keeps
+// other tasks' root-paths disjoint from this zone — so in a correct
+// execution the locks are uncontended, and in an incorrect one (an
+// entangled pointer into the zone) they serialize instead of corrupting.
+func (s *ZoneScheduler) CollectZone(zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
+	z := make([]*heap.Heap, len(zone))
+	copy(z, zone)
+	heap.SortZone(z)
+
+	s.Admit(z)
+	start := time.Now()
+	heap.LockZone(z)
+	st := Collect(z, roots)
+	heap.UnlockZone(z)
+	dur := time.Since(start).Nanoseconds()
+	s.Release(z)
+
+	s.mu.Lock()
+	s.stats.Zones++
+	if kind == JoinZone {
+		s.stats.JoinZones++
+	} else {
+		s.stats.LeafZones++
+	}
+	s.stats.WordsCopied += st.WordsCopied
+	s.stats.ZoneNanos += dur
+	s.mu.Unlock()
+	return st
+}
+
+// Snapshot returns the scheduler's aggregate statistics so far.
+func (s *ZoneScheduler) Snapshot() ZoneStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if s.nActive >= 2 {
+		st.OverlapNanos += time.Since(s.overlap).Nanoseconds()
+	}
+	return st
+}
+
+// InFlight returns the number of zone collections currently admitted.
+func (s *ZoneScheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nActive
+}

@@ -10,7 +10,13 @@
 // chunk-metadata heapOf lookup of the paper's implementation.
 //
 // Every heap carries a readers-writer lock (paper Figure 4): findMaster
-// acquires it in read mode, promotion in write mode, deepest heap first.
+// acquires it in read mode, promotion and zone collection in write mode.
+// One global lock order keeps the three composable — every multi-heap
+// acquisition climbs the hierarchy bottom-up (deepest heap first, heap ID
+// breaking ties between siblings). The zone helpers encode that order:
+// SortZone canonicalizes a zone, LockZone/UnlockZone write-lock and
+// release it in order, and IsAncestorOf answers zone-membership queries
+// through any joins.
 //
 // A Superheap is the per-user-level-thread stack of heaps from Appendix B:
 // forkjoin pushes a fresh heap (depth+1) and the matching join pops and

@@ -1,0 +1,59 @@
+package heap
+
+import "testing"
+
+func TestSortZoneDeepestFirst(t *testing.T) {
+	root := NewRoot()
+	mid := NewChild(root)
+	leafA := NewChild(mid)
+	leafB := NewChild(mid)
+
+	zone := []*Heap{root, leafB, mid, leafA}
+	SortZone(zone)
+	if zone[0].Depth() != 2 || zone[1].Depth() != 2 || zone[2] != mid || zone[3] != root {
+		t.Fatalf("bad order: %v", zone)
+	}
+	if zone[0].ID() > zone[1].ID() {
+		t.Fatal("equal-depth heaps must be ordered by ID")
+	}
+}
+
+func TestLockUnlockZone(t *testing.T) {
+	root := NewRoot()
+	child := NewChild(root)
+	zone := []*Heap{child, root}
+
+	LockZone(zone)
+	for _, h := range zone {
+		if st := h.LockStats(); st.WriteAcquires != 1 {
+			t.Fatalf("heap %v write acquires = %d", h, st.WriteAcquires)
+		}
+	}
+	UnlockZone(zone)
+	// Unlocked: a fresh write acquisition must not be contended.
+	root.Lock(WRITE)
+	root.Unlock()
+	if st := root.LockStats(); st.WriteContended != 0 {
+		t.Fatal("zone lock leaked")
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	root := NewRoot()
+	mid := NewChild(root)
+	leaf := NewChild(mid)
+	other := NewChild(root)
+
+	if !root.IsAncestorOf(leaf) || !mid.IsAncestorOf(leaf) || !leaf.IsAncestorOf(leaf) {
+		t.Fatal("ancestry chain broken")
+	}
+	if leaf.IsAncestorOf(mid) || other.IsAncestorOf(leaf) || mid.IsAncestorOf(other) {
+		t.Fatal("false ancestry")
+	}
+
+	// Joins alias the child into the parent: ancestry must follow.
+	Join(mid, leaf)
+	if !mid.IsAncestorOf(leaf) || !leaf.IsAncestorOf(mid) {
+		t.Fatal("merged heaps must be mutual ancestors")
+	}
+}

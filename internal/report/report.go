@@ -273,6 +273,44 @@ func Fig9(w io.Writer, o Options) error {
 	return nil
 }
 
+// ZoneTable reports the hierarchical collector's concurrency, the
+// repository's extension beyond the paper's tables: for each benchmark a
+// mlton-parmem run at P processors, with run-phase GC pause time separated
+// from mutator processor time, and the zone-collection counters — total
+// zones split into leaf (allocation safe point) and join (internal-node)
+// collections, the peak number of zones in flight at once, and the wall
+// time during which two or more zones overlapped.
+func ZoneTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	fmt.Fprintf(w, "Zone concurrency: mlton-parmem collections at P=%d (pause vs mutator time)\n", o.Procs)
+	header := []string{"benchmark", "T_P", "mut-cpu(s)", "gc-cpu(s)", "gc%",
+		"zones", "leaf", "join", "maxcc", "ovl(ms)"}
+	var rows [][]string
+	for _, b := range o.selected(false, false) {
+		sc := o.scale(b)
+		rp := bench.Measure(b, rts.DefaultConfig(rts.ParMem, o.Procs), sc, o.Reps)
+		gcCPU := float64(rp.GCNanos) / 1e9
+		mutCPU := float64(rp.Totals.Procs)*rp.Elapsed.Seconds() - gcCPU
+		if mutCPU < 0 {
+			mutCPU = 0
+		}
+		z := rp.Totals.Zones
+		rows = append(rows, []string{
+			b.Name, fmtSec(rp),
+			fmt.Sprintf("%.3f", mutCPU),
+			fmt.Sprintf("%.3f", gcCPU),
+			fmtPct(rp.GCFraction()),
+			fmt.Sprintf("%d", z.Zones),
+			fmt.Sprintf("%d", z.LeafZones),
+			fmt.Sprintf("%d", z.JoinZones),
+			fmt.Sprintf("%d", z.MaxConcurrent),
+			fmt.Sprintf("%.1f", float64(z.OverlapNanos)/1e6),
+		})
+	}
+	renderTable(w, header, rows)
+	return nil
+}
+
 // Fig8 regenerates the operation-cost matrix.
 func Fig8(w io.Writer, iters int) error {
 	if iters < 1 {

@@ -91,6 +91,23 @@ func TestFig9Smoke(t *testing.T) {
 	}
 }
 
+func TestZoneTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	o := Options{Procs: 2, Reps: 1, Names: []string{"msort-pure"}}
+	if err := ZoneTable(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"zones", "leaf", "join", "maxcc", "mut-cpu(s)", "gc-cpu(s)", "msort-pure"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("zone table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFig10SmokeValidates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

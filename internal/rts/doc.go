@@ -3,20 +3,37 @@
 // runtime configurations:
 //
 //   - ParMem — the paper's contribution: hierarchical heaps mirroring the
-//     fork-join task tree, promotion on entangling pointer writes, leaf-heap
-//     collection at allocation safe points (labelled mlton-parmem).
+//     fork-join task tree, promotion on entangling pointer writes, and
+//     concurrent zone collection (labelled mlton-parmem). Collections are
+//     scheduled by gc.ZoneScheduler and never park the world: a leaf zone
+//     (the task's current heap) collects at an allocation safe point, and
+//     a join zone (the merged ancestor, free of live descendants once the
+//     join completes) collects at the join — at a top-level join that
+//     ancestor is the hierarchy root, so whole-hierarchy collection also
+//     needs no rendezvous. Disjoint zones collect concurrently, bounded
+//     by Config.MaxConcurrentZones (0 = one per processor; 1 = the
+//     serialized-collection ablation).
 //   - STW — Spoonhower-style parallel ML: the same scheduler, per-worker
 //     allocation into flat heaps, and sequential stop-the-world semispace
 //     collection with a safe-point rendezvous (labelled mlton-spoonhower).
+//     This is the only mode that installs the scheduler's parking
+//     safe-point hook.
 //   - Seq — the sequential baseline: direct execution of both forkjoin
 //     arms, plain loads and stores, one heap (labelled mlton).
 //   - Manticore — a DLG-style design: per-worker local heaps under a shared
 //     global heap; data is promoted (copied) to the global heap whenever the
 //     runtime communicates it across workers (stolen-task environments and
-//     stolen-task results), and local heaps are collected independently.
+//     stolen-task results), and local heaps are collected independently —
+//     routed through the same zone scheduler so their concurrency shows up
+//     in the same counters.
 //
 // Tasks carry a shadow stack of root slots (registered *mem.ObjPtr Go
 // locals); collections update the slots in place. The rooting contract for
 // code running on a Task: any object pointer that must survive a call that
 // may allocate (or fork) is registered for the duration of that call.
+// Zone collections honor a second, subtler contract with the scheduler: a
+// published frame's env slot may be read lock-free by a thief, which is
+// safe because pending frames always live at depths strictly above any
+// zone this task can collect, and the collector never writes a root slot
+// whose pointer did not move.
 package rts

@@ -88,6 +88,10 @@ func (t *Task) ForkJoin(env mem.ObjPtr, f, g Thunk) (mem.ObjPtr, mem.ObjPtr) {
 	}
 	if r.cfg.Mode == ParMem {
 		t.sh.PopJoin()
+		// Internal-node collection: the merged ancestor has no live
+		// descendants left, so it is a valid zone. rf is already rooted;
+		// rg is not yet.
+		t.maybeCollectJoin(&rg)
 	}
 	t.PopRoots(mark)
 	return rf, rg
@@ -132,6 +136,7 @@ func (t *Task) ForkJoinScalar(env mem.ObjPtr, f, g ScalarThunk) (uint64, uint64)
 	}
 	if r.cfg.Mode == ParMem {
 		t.sh.PopJoin()
+		t.maybeCollectJoin() // scalar results need no extra roots
 	}
 	t.PopRoots(mark)
 	return rf, rg

@@ -8,14 +8,19 @@ import (
 	"repro/internal/mem"
 )
 
-// Stop-the-world collection for the Spoonhower-style baseline: any worker
-// whose allocation trips the global trigger becomes the collector; all
-// other workers park at safe points (allocations, forks, and the
-// scheduler's idle/wait loops); the collector then runs a sequential
-// semispace collection over every worker heap, rooted by every live task.
-// Parked time is charged to GC, which is how the paper reports GC_72 for
-// mlton-spoonhower ("processor time spent blocked during a stop-the-world
-// collection").
+// The stop-the-world driver, used ONLY by the Spoonhower-style baseline
+// (STW mode): any worker whose allocation trips the global trigger becomes
+// the collector; all other workers park at safe points (allocations,
+// forks, and the scheduler's idle/wait loops); the collector then runs a
+// sequential semispace collection over every worker heap, rooted by every
+// live task. Parked time is charged to GC, which is how the paper reports
+// GC_72 for mlton-spoonhower ("processor time spent blocked during a
+// stop-the-world collection").
+//
+// The hierarchical modes never use this rendezvous: their collections go
+// through the concurrent zone driver (zonedrive.go), which parks nobody —
+// the scheduler's safe-point hook is not even installed for them, so leaf
+// and join collections proceed while every other worker keeps running.
 
 // stwShouldCollect checks the global occupancy trigger.
 func (r *Runtime) stwShouldCollect() bool {

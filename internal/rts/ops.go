@@ -2,6 +2,7 @@ package rts
 
 import (
 	"repro/internal/core"
+	"repro/internal/gc"
 	"repro/internal/heap"
 	"repro/internal/mem"
 )
@@ -20,7 +21,7 @@ func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 	case ParMem, Seq:
 		h := t.sh.Current()
 		if !r.cfg.DisableGC && r.cfg.Policy.ShouldCollect(h) {
-			t.collectOwn(h)
+			t.collectZone([]*heap.Heap{h}, gc.LeafZone)
 		}
 		return core.Alloc(h, &t.Ops, numPtr, numNonptr, tag)
 	case STW:

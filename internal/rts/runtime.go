@@ -23,6 +23,11 @@ type Runtime struct {
 	rootHeap *heap.Heap
 	states   []*workerState
 
+	// zones schedules concurrent zone collections in the hierarchical
+	// modes (ParMem, Seq, Manticore). Nil in STW mode, whose collections
+	// are a whole-world rendezvous instead (gcdrive.go).
+	zones *gc.ZoneScheduler
+
 	mu       sync.Mutex
 	tasks    map[*Task]struct{}
 	totals   core.Counters
@@ -69,6 +74,17 @@ func New(cfg Config) *Runtime {
 	r.gcCond = sync.NewCond(&r.gcMu)
 	r.baselineBytes = mem.LiveBytes()
 	mem.ResetHighWater()
+
+	if cfg.Mode != STW {
+		maxZones := cfg.MaxConcurrentZones
+		if maxZones <= 0 {
+			maxZones = cfg.Procs
+			if cfg.Mode == Seq {
+				maxZones = 1
+			}
+		}
+		r.zones = gc.NewZoneScheduler(maxZones)
+	}
 
 	switch cfg.Mode {
 	case Seq:
@@ -180,6 +196,11 @@ type Totals struct {
 	Steals  int64
 	PeakMem int64 // peak chunk occupancy in bytes since New
 	Procs   int
+
+	// Zones describes the concurrent zone collections of the hierarchical
+	// modes: counts by kind, peak concurrency, and overlap time. Zero in
+	// STW mode.
+	Zones gc.ZoneStats
 }
 
 // Stats returns aggregate statistics. Call after Run completes.
@@ -195,6 +216,9 @@ func (r *Runtime) Stats() Totals {
 	}
 	if r.pool != nil {
 		t.Steals = r.pool.TotalSteals()
+	}
+	if r.zones != nil {
+		t.Zones = r.zones.Snapshot()
 	}
 	return t
 }

@@ -77,18 +77,12 @@ func (t *Task) CurrentHeap() *heap.Heap {
 	return t.ws.heap
 }
 
-// collectOwn collects the task's current (leaf) heap with the task's own
-// roots: ParMem leaf collection, or the whole heap in Seq mode.
-func (t *Task) collectOwn(h *heap.Heap) {
-	start := time.Now()
-	stats := gc.Collect([]*heap.Heap{h}, t.roots)
-	t.gcNanos += time.Since(start).Nanoseconds()
-	t.gcStats.Add(stats)
-}
-
 // collectLocal collects the worker-local heap in Manticore mode, rooted by
 // every task hosted on this worker (all suspended except the caller). The
-// local lock excludes cross-worker promotions out of this heap.
+// local lock excludes cross-worker promotions out of this heap; routing
+// through the zone scheduler makes the local heaps' natural concurrency
+// (disjoint per-worker zones under the shared global heap) show up in the
+// same counters as ParMem's.
 func (t *Task) collectLocal() {
 	start := time.Now()
 	ws := t.ws
@@ -97,7 +91,7 @@ func (t *Task) collectLocal() {
 	for ht := range ws.tasks {
 		roots = append(roots, ht.roots...)
 	}
-	stats := gc.Collect([]*heap.Heap{ws.heap}, roots)
+	stats := t.rt.zones.CollectZone([]*heap.Heap{ws.heap}, roots, gc.LeafZone)
 	ws.localMu.Unlock()
 	t.gcNanos += time.Since(start).Nanoseconds()
 	t.gcStats.Add(stats)

@@ -1,0 +1,61 @@
+package rts
+
+import (
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// The hierarchical (ParMem) collection driver. Unlike the stop-the-world
+// rendezvous in gcdrive.go, nothing here parks other workers: a collection
+// targets a zone — a heap with no live descendants — and runs inline on
+// the task that owns it, holding only the zone's write locks through the
+// runtime's ZoneScheduler. Workers in other subtrees keep allocating,
+// mutating, promoting, and stealing; disjoint zones collect concurrently.
+//
+// Two triggers produce zones:
+//
+//   - Leaf zones: an allocation safe point finds the task's current heap
+//     past policy. The current heap is always a leaf of the live
+//     hierarchy, and only this task can reference into it, so the task's
+//     own shadow stack is the complete root set.
+//   - Join zones (internal-node collection): a ForkJoin's join merges the
+//     child heap into its parent, and the merged ancestor — which now has
+//     no live descendants either, since fork-join discipline completed
+//     every task below it — is collected if it has grown past policy. At
+//     a top-level join the merged ancestor is the hierarchy root itself,
+//     so this subsumes whole-hierarchy collection without any rendezvous.
+//
+// Root-set safety against concurrent readers: a thief reads a published
+// frame's env slot without locks (ParMem stolenEnv). Every published
+// frame was forked at a depth strictly shallower than the collecting
+// task's current heap — the fork pushed a deeper heap before publishing —
+// so pending frames' envs always point outside the zone, and the
+// collector never writes a slot whose pointer did not move (gc.CopyRoot).
+
+// collectZone collects the given zone through the runtime's scheduler,
+// rooted by the task's shadow stack, charging the elapsed time (admission
+// wait included) to this task's GC account.
+func (t *Task) collectZone(zone []*heap.Heap, kind gc.ZoneKind) {
+	start := time.Now()
+	stats := t.rt.zones.CollectZone(zone, t.roots, kind)
+	t.gcNanos += time.Since(start).Nanoseconds()
+	t.gcStats.Add(stats)
+}
+
+// maybeCollectJoin runs the internal-node collection at a join point: the
+// superheap has just popped, so the current heap is the merged ancestor.
+// extra roots (the join's result pointers, not yet registered) are pushed
+// for the duration. Policy is evaluated on the merged heap, whose
+// allocation and live accounting were accumulated by heap.Join.
+func (t *Task) maybeCollectJoin(extra ...*mem.ObjPtr) {
+	r := t.rt
+	if r.cfg.DisableGC || !r.cfg.Policy.ShouldCollect(t.sh.Current()) {
+		return
+	}
+	mark := t.PushRoot(extra...)
+	t.collectZone([]*heap.Heap{t.sh.Current()}, gc.JoinZone)
+	t.PopRoots(mark)
+}

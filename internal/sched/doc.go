@@ -13,4 +13,11 @@
 // fork-join-with-heaps on top of Push/PopBottom/WaitHelp, and installs a
 // SafePoint hook so that idle and waiting workers participate in
 // stop-the-world rendezvous when a baseline collector needs one.
+//
+// Only the stop-the-world baseline installs a parking hook. The
+// hierarchical runtime's zone collections (leaf heaps at allocation safe
+// points, merged ancestors at joins) run inline on the collecting worker
+// and park nobody: while one worker collects, the others keep executing
+// frames and stealing — including from the collecting worker's deque,
+// whose published frames stay stealable throughout the collection.
 package sched

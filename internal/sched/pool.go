@@ -52,7 +52,11 @@ type Pool struct {
 }
 
 // SetSafePoint installs a hook invoked by idle and waiting workers so the
-// runtime can run stop-the-world rendezvous or bookkeeping.
+// runtime can run stop-the-world rendezvous or bookkeeping. Only
+// whole-world collectors need it (the STW baseline); hierarchical zone
+// collections never park workers, so the hierarchical modes install no
+// hook and leaf/join collections proceed while every worker keeps
+// running.
 func (p *Pool) SetSafePoint(fn func(w *Worker)) { p.safePoint.Store(&fn) }
 
 func (p *Pool) callSafePoint(w *Worker) {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDequeLIFOForOwner(t *testing.T) {
@@ -184,16 +185,50 @@ func TestPoolForkJoinTree(t *testing.T) {
 	}
 }
 
-func TestPoolStealsHappen(t *testing.T) {
-	p := NewPool(4)
-	var leaves atomic.Int64
-	p.RunRoot(func(w *Worker) {
-		testForkJoin(w, 14, &leaves)
+// testForkJoinSpin is testForkJoin with leaves that burn a few
+// microseconds of CPU, so the tree outlives the thieves' idle backoff
+// (up to 100µs of sleep) and published frames are actually observable.
+func testForkJoinSpin(w *Worker, depth int, counter *atomic.Int64) {
+	if depth == 0 {
+		spin := uint64(1)
+		for i := 0; i < 2000; i++ {
+			spin = spin*6364136223846793005 + 1442695040888963407
+		}
+		counter.Add(int64(spin>>63) + 1) // data-dependent: the spin cannot be elided
+		return
+	}
+	fr := NewFrame(func(thief *Worker) {
+		testForkJoinSpin(thief, depth-1, counter)
 	})
-	steals := p.TotalSteals()
-	p.Close()
-	if steals == 0 {
-		t.Fatal("expected at least one steal on a 4-worker pool")
+	w.Push(fr)
+	testForkJoinSpin(w, depth-1, counter)
+	if got := w.PopBottom(); got == fr {
+		fr.exec(w)
+	} else {
+		w.WaitHelp(fr)
+	}
+}
+
+func TestPoolStealsHappen(t *testing.T) {
+	// A tree of trivial leaves can finish before any thief wakes from its
+	// idle sleep, so steals are not guaranteed by one run. Seed the pool
+	// with a long-enough imbalanced tree and retry under a deadline: each
+	// round publishes thousands of frames over several milliseconds, so a
+	// 4-worker pool observes a steal deterministically in practice.
+	p := NewPool(4)
+	defer p.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; p.TotalSteals() == 0; round++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no steal on a 4-worker pool after %d rounds", round)
+		}
+		var leaves atomic.Int64
+		p.RunRoot(func(w *Worker) {
+			testForkJoinSpin(w, 12, &leaves)
+		})
+		if leaves.Load() < 1<<12 {
+			t.Fatalf("round %d: %d leaves, want >= %d", round, leaves.Load(), 1<<12)
+		}
 	}
 }
 
