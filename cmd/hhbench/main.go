@@ -12,6 +12,12 @@
 //	hhbench -table all                # everything
 //	hhbench -bench msort,usp-tree ... # subset of benchmarks
 //	hhbench -paper                    # the paper's original problem sizes
+//	hhbench -table fig10 -json > BENCH_fig10.json   # machine-readable output
+//
+// With -json each table is emitted as one JSON object per line (JSON
+// Lines): {"table","title","procs","header","rows",...}, with the same
+// formatted cells as the text rendering — the stable interface for
+// tracking the performance trajectory across commits.
 package main
 
 import (
@@ -31,9 +37,10 @@ func main() {
 	names := flag.String("bench", "", "comma-separated benchmark subset")
 	paper := flag.Bool("paper", false, "use the paper's original problem sizes (slow)")
 	iters := flag.Int("fig8-iters", 200_000, "iterations per figure-8 cell")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per table (JSON Lines) instead of text")
 	flag.Parse()
 
-	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper}
+	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper, JSON: *jsonOut}
 	if *names != "" {
 		opts.Names = strings.Split(*names, ",")
 	}
@@ -43,7 +50,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 
 	w := os.Stdout
@@ -51,7 +60,7 @@ func main() {
 	for _, tb := range tables {
 		switch tb {
 		case "fig8":
-			run(tb, func() error { return report.Fig8(w, *iters) })
+			run(tb, func() error { return report.Fig8(w, opts, *iters) })
 		case "fig9":
 			run(tb, func() error { return report.Fig9(w, opts) })
 		case "fig10":
@@ -65,7 +74,7 @@ func main() {
 		case "zones":
 			run(tb, func() error { return report.ZoneTable(w, opts) })
 		case "all":
-			run("fig8", func() error { return report.Fig8(w, *iters) })
+			run("fig8", func() error { return report.Fig8(w, opts, *iters) })
 			run("fig9", func() error { return report.Fig9(w, opts) })
 			run("fig10", func() error { return report.Fig10(w, opts) })
 			run("fig11", func() error { return report.Fig11(w, opts) })

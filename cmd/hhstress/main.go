@@ -2,7 +2,9 @@
 // promotion machinery with concurrent entangling writes under an
 // aggressive collection policy, then verifies the disentanglement
 // invariant and the published data structures. A clean exit means the
-// hierarchy survived; any violation panics with a diagnostic.
+// hierarchy survived; any violation panics with a diagnostic. Written
+// against the public hh API, it doubles as that surface's end-to-end
+// acceptance test.
 package main
 
 import (
@@ -12,10 +14,7 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/gc"
-	"repro/internal/mem"
-	"repro/internal/rts"
-	"repro/internal/seq"
+	"repro/hh"
 )
 
 func main() {
@@ -30,67 +29,73 @@ func main() {
 	// so disjoint zone collections can actually overlap in wall time.
 	runtime.GOMAXPROCS(*procs)
 
-	cfg := rts.DefaultConfig(rts.ParMem, *procs)
 	// Failure injection: collect constantly so promotions, collections,
 	// and forwarding-chain maintenance interleave as much as possible.
-	cfg.Policy = gc.Policy{MinWords: 2048, Ratio: 1.25}
-	cfg.MaxConcurrentZones = *maxZones
+	opts := []hh.Option{
+		hh.WithMode(hh.ParMem),
+		hh.WithProcs(*procs),
+		hh.WithGCPolicy(2048, 1.25),
+		hh.WithMaxConcurrentZones(*maxZones),
+	}
 
 	var peakZones int64
 	for round := 0; round < *rounds; round++ {
-		r := rts.New(cfg)
-		ok := r.Run(func(t *rts.Task) uint64 {
-			arr := t.AllocMut(*slots, 0, mem.TagArrPtr)
-			mark := t.PushRoot(&arr)
-			nw, nl := *writes, *live
-			seq.ParDo(t, arr, 0, *slots, 1,
-				func(t *rts.Task, env mem.ObjPtr, lo, hi int) {
-					for s := lo; s < hi; s++ {
-						// A task-local live list: it is copied by every
-						// leaf-zone collection of this task's heap, so
-						// collections are substantial enough to overlap
-						// with sibling zones and with promotions.
-						local := mem.NilPtr
-						m := t.PushRoot(&env, &local)
-						for i := 0; i < nl; i++ {
-							cons := t.Alloc(1, 1, mem.TagCons)
-							t.WriteInitWord(cons, 0, uint64(i))
-							t.WriteInitPtr(cons, 0, local)
-							local = cons
+		r := hh.New(opts...)
+		ok := hh.Run(r, func(t *hh.Task) uint64 {
+			var good uint64 = 1
+			t.Scoped(func(sc *hh.Scope) {
+				arr := sc.Ref(t.AllocMut(*slots, 0, hh.TagArrPtr))
+				nw, nl := *writes, *live
+				hh.ParDo(t, hh.Bind(arr), 0, *slots, 1,
+					func(t *hh.Task, e *hh.Env, lo, hi int) {
+						for s := lo; s < hi; s++ {
+							t.Scoped(func(ls *hh.Scope) {
+								// A task-local live list: it is copied by every
+								// leaf-zone collection of this task's heap, so
+								// collections are substantial enough to overlap
+								// with sibling zones and with promotions.
+								local := ls.Ref(hh.Nil)
+								for i := 0; i < nl; i++ {
+									cons := t.Alloc(1, 1, hh.TagCons)
+									t.InitWord(cons, 0, uint64(i))
+									t.InitPtr(cons, 0, local.Get())
+									local.Set(cons)
+								}
+								for i := 0; i < nw; i++ {
+									t.Scoped(func(ws *hh.Scope) {
+										head := ws.Ref(t.ReadMutPtr(e.Ptr(0), s))
+										cons := t.Alloc(1, 1, hh.TagCons)
+										t.InitWord(cons, 0, uint64(s)<<32|uint64(i))
+										t.InitPtr(cons, 0, head.Get())
+										t.WritePtr(e.Ptr(0), s, cons)
+									})
+								}
+								for i, p := nl-1, local.Get(); i >= 0; i-- {
+									if p.IsNil() || t.ReadImmWord(p, 0) != uint64(i) {
+										panic("hhstress: task-local live list corrupted")
+									}
+									p = t.ReadImmPtr(p, 0)
+								}
+							})
 						}
-						for i := 0; i < nw; i++ {
-							head := t.ReadMutPtr(env, s)
-							m2 := t.PushRoot(&head)
-							cons := t.Alloc(1, 1, mem.TagCons)
-							t.PopRoots(m2)
-							t.WriteInitWord(cons, 0, uint64(s)<<32|uint64(i))
-							t.WriteInitPtr(cons, 0, head)
-							t.WritePtr(env, s, cons)
+					})
+				// Validate every list: full length, descending insertion order.
+				for s := 0; s < *slots; s++ {
+					p := t.ReadMutPtr(arr.Get(), s)
+					for i := nw - 1; i >= 0; i-- {
+						if p.IsNil() || t.ReadImmWord(p, 0) != uint64(s)<<32|uint64(i) {
+							good = 0
+							return
 						}
-						for i, p := nl-1, local; i >= 0; i-- {
-							if p.IsNil() || t.ReadImmWord(p, 0) != uint64(i) {
-								panic("hhstress: task-local live list corrupted")
-							}
-							p = t.ReadImmPtr(p, 0)
-						}
-						t.PopRoots(m)
+						p = t.ReadImmPtr(p, 0)
 					}
-				})
-			// Validate every list: full length, descending insertion order.
-			for s := 0; s < *slots; s++ {
-				p := t.ReadMutPtr(arr, s)
-				for i := nw - 1; i >= 0; i-- {
-					if p.IsNil() || t.ReadImmWord(p, 0) != uint64(s)<<32|uint64(i) {
-						return 0
+					if !p.IsNil() {
+						good = 0
+						return
 					}
-					p = t.ReadImmPtr(p, 0)
 				}
-				if !p.IsNil() {
-					return 0
-				}
-			}
-			t.PopRoots(mark)
-			return 1
+			})
+			return good
 		})
 		if ok != 1 {
 			fmt.Fprintf(os.Stderr, "round %d: DATA CORRUPTION DETECTED\n", round)
@@ -102,8 +107,8 @@ func main() {
 		}
 		st := r.Stats()
 		r.Close()
-		if mem.ChunksInUse() != 0 {
-			fmt.Fprintf(os.Stderr, "round %d: %d chunks leaked\n", round, mem.ChunksInUse())
+		if hh.ChunksInUse() != 0 {
+			fmt.Fprintf(os.Stderr, "round %d: %d chunks leaked\n", round, hh.ChunksInUse())
 			os.Exit(1)
 		}
 		if st.Zones.MaxConcurrent > peakZones {

@@ -2,17 +2,23 @@
 // for Mutable State" (Guatto, Westrick, Raghunathan, Acar, Fluet;
 // PPoPP 2018).
 //
-// The library lives under internal/: the simulated managed-memory
+// The public API is package hh: a typed, scope-safe façade — generic
+// Run/Fork2/ForkN, functional-option runtimes, and lexically scoped GC
+// roots (Ref/Scope) — over the engine layers. Start there; the examples/
+// programs are written against it and double as its acceptance tests.
+//
+// The engine lives under internal/: the simulated managed-memory
 // substrate (mem), hierarchical heaps (heap), the paper's promotion
-// algorithms (core), promotion-aware semispace collection (gc), the
-// work-stealing scheduler (sched), the four runtime systems of the
-// evaluation (rts), the sequence and graph substrates (seq, graph), the
-// 17-benchmark suite (bench), and the table/figure regeneration layer
-// (report). See README.md for a guided tour and DESIGN.md for the system
-// inventory and experiment index.
+// algorithms (core), promotion-aware semispace collection with the
+// concurrent zone scheduler (gc), the work-stealing scheduler (sched),
+// the four runtime systems of the evaluation (rts), the sequence and
+// graph substrates (seq, graph), the 17-benchmark suite (bench), and the
+// table/figure regeneration layer (report). See README.md for a guided
+// tour and DESIGN.md for the system inventory.
 //
 // The root package holds the testing.B benchmarks that regenerate the
-// paper's tables (bench_test.go); run them with
+// paper's tables (bench_test.go) and the example smoke tests; run them
+// with
 //
 //	go test -bench=. -benchmem .
 package repro

@@ -1,40 +1,95 @@
-// BFS example: the paper's usp-tree workload — every vertex visit allocates
-// a cons cell locally and writes it into a shared ancestor array, forcing a
-// promotion. Run it to watch the promotion machinery at work (and why §5
-// calls this the pessimal case for coarse-grained promotion locking).
+// BFS example: the paper's usp-tree pattern — a parallel search over an
+// implicit tree in which every visit allocates a record locally and
+// writes it into a shared ancestor array, forcing a promotion. Run it to
+// watch the promotion machinery at work (and why §5 calls this the
+// pessimal case for coarse-grained promotion locking). Compare -mode
+// parmem (promoting writes) with -mode seq (the same writes, no
+// hierarchy to entangle).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
-	"time"
 
-	"repro/internal/bench"
-	"repro/internal/rts"
+	"repro/hh"
 )
 
 func main() {
-	vertices := flag.Int("vertices", 1<<13, "graph size (rounded to a power of two)")
+	buckets := flag.Int("buckets", 64, "frontier buckets (parallel grain is one bucket)")
+	visits := flag.Int("visits", 256, "vertices visited per bucket")
 	procs := flag.Int("procs", runtime.NumCPU(), "workers")
+	modeName := flag.String("mode", "parmem", "parmem|stw|seq|manticore")
 	flag.Parse()
 
-	b := bench.USPTree()
-	sc := bench.Scale{N: *vertices, Grain: 128, Extra: 16}
-
-	for _, mode := range []rts.Mode{rts.Seq, rts.ParMem} {
-		p := *procs
-		if mode == rts.Seq {
-			p = 1
-		}
-		start := time.Now()
-		res := bench.Run(b, rts.DefaultConfig(mode, p), sc)
-		fmt.Printf("%-16s procs=%d  run=%8.2fms  total=%8.2fms  checksum=%x\n",
-			mode, p, res.Elapsed.Seconds()*1000, time.Since(start).Seconds()*1000, res.Checksum)
-		fmt.Printf("  promoting writes: %d, objects copied up: %d (%d KiB), master lookups: %d\n",
-			res.Totals.Ops.WritePtrProm, res.Totals.Ops.PromotedObjects,
-			res.Totals.Ops.PromotedBytes()/1024, res.Totals.Ops.ReadMutSlow)
+	mode, err := hh.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	fmt.Println("\nEvery visit promotes a cons cell to the root array's heap; the")
-	fmt.Println("path locks serialize otherwise-parallel visits (paper §4.4, §5).")
+	r := hh.New(hh.WithMode(mode), hh.WithProcs(*procs))
+	defer r.Close()
+
+	nb, nv := *buckets, *visits
+	ok := hh.Run(r, func(t *hh.Task) bool {
+		good := true
+		t.Scoped(func(sc *hh.Scope) {
+			// The shared ancestor: one visit-list head per bucket, living at
+			// the root of the hierarchy.
+			lists := sc.Ref(t.AllocMut(nb, 0, hh.TagArrPtr))
+
+			// Visit every vertex in parallel, one bucket per leaf task. Each
+			// visit allocates its record in the visiting task's leaf heap and
+			// links it into the bucket's list — a distant pointer write that
+			// entangles the hierarchy and must promote (ParMem), or reaches
+			// the shared heap directly (STW/Manticore/Seq).
+			hh.ParDo(t, hh.Bind(lists), 0, nb, 1,
+				func(t *hh.Task, e *hh.Env, lo, hi int) {
+					for b := lo; b < hi; b++ {
+						for v := 0; v < nv; v++ {
+							t.Scoped(func(s *hh.Scope) {
+								head := s.Ref(t.ReadMutPtr(e.Ptr(0), b))
+								rec := t.Alloc(1, 1, hh.TagCons)
+								t.InitWord(rec, 0, uint64(b)<<32|uint64(v))
+								t.InitPtr(rec, 0, head.Get())
+								t.WritePtr(e.Ptr(0), b, rec)
+							})
+						}
+					}
+				})
+
+			// Validate: every bucket holds its visits in reverse order.
+			for b := 0; b < nb; b++ {
+				p := t.ReadMutPtr(lists.Get(), b)
+				for v := nv - 1; v >= 0; v-- {
+					if p.IsNil() || t.ReadImmWord(p, 0) != uint64(b)<<32|uint64(v) {
+						good = false
+						return
+					}
+					p = t.ReadImmPtr(p, 0)
+				}
+				if !p.IsNil() {
+					good = false
+					return
+				}
+			}
+		})
+		return good
+	})
+
+	if err := r.CheckDisentangled(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := r.Stats()
+	fmt.Printf("visited %d vertices into %d shared lists on %d workers (%v): lists ok=%v\n",
+		nb*nv, nb, r.Procs(), r.Mode(), ok)
+	fmt.Printf("  promoting writes: %d, objects copied up: %d (%d KiB), master lookups: %d\n",
+		st.Ops.WritePtrProm, st.Ops.PromotedObjects,
+		st.Ops.PromotedBytes()/1024, st.Ops.ReadMutSlow)
+	fmt.Printf("  representative operation: %s\n", st.Ops.Representative())
+	if !ok {
+		os.Exit(1)
+	}
 }

@@ -1,74 +1,88 @@
 // Quickstart: the paper's Figure 1 — parallel merge sort with an
 // imperative in-place quicksort below the grain — on the hierarchical
-// heaps runtime. Demonstrates the public API surface: runtimes, tasks,
-// fork-join with environment threading, allocation, initializing writes,
-// and GC root registration.
+// heaps runtime, written against the public hh API. Demonstrates
+// runtimes, generic fork-join, scope-registered roots (no manual
+// PushRoot/PopRoots), and environment threading via Bind/Env.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"runtime"
 
-	"repro/internal/mem"
-	"repro/internal/rts"
-	"repro/internal/seq"
-)
-
-const (
-	size  = 1 << 16
-	grain = 1 << 9
+	"repro/hh"
 )
 
 // msort is Figure 1: split to the grain, quicksort leaves in place, merge
-// sorted results at the joins.
-func msort(t *rts.Task, s mem.ObjPtr) mem.ObjPtr {
-	n := seq.Length(t, s)
+// sorted results at the joins. Pointers cross the fork through Bind; each
+// arm re-reads its half from its Env.
+func msort(t *hh.Task, s hh.Ptr, grain int) hh.Ptr {
+	n := hh.Length(t, s)
 	if n <= grain {
-		a := seq.ToFlatU64(t, s) // Seq.toArray
-		seq.QuickSortInPlace(t, a, 0, n)
+		a := hh.ToArray(t, s) // Seq.toArray
+		hh.SortArray(t, a)
 		return a // Seq.fromArray
 	}
-	l, r := seq.SplitMid(t, s)
-	mark := t.PushRoot(&l, &r)
-	env := t.Alloc(2, 0, mem.TagTuple)
-	t.PopRoots(mark)
-	t.WriteInitPtr(env, 0, l)
-	t.WriteInitPtr(env, 1, r)
-	ls, rs := t.ForkJoin(env,
-		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return msort(t, t.ReadImmPtr(env, 0)) },
-		func(t *rts.Task, env mem.ObjPtr) mem.ObjPtr { return msort(t, t.ReadImmPtr(env, 1)) })
-	return seq.MergeFlatSorted(t, ls, rs)
+	var out hh.Ptr
+	t.Scoped(func(sc *hh.Scope) {
+		l, r := hh.SplitMid(t, s)
+		lr := sc.Ref(l)
+		rr := sc.Ref(r)
+		ls, rs := hh.Fork2(t, hh.Bind(lr, rr),
+			func(t *hh.Task, e *hh.Env) hh.Ptr { return msort(t, e.Ptr(0), grain) },
+			func(t *hh.Task, e *hh.Env) hh.Ptr { return msort(t, e.Ptr(1), grain) })
+		out = hh.MergeSorted(t, ls, rs)
+	})
+	return out
 }
 
 func main() {
-	r := rts.New(rts.DefaultConfig(rts.ParMem, runtime.NumCPU()))
+	size := flag.Int("size", 1<<16, "elements to sort")
+	grain := flag.Int("grain", 1<<9, "sequential cutoff")
+	procs := flag.Int("procs", runtime.NumCPU(), "workers")
+	modeName := flag.String("mode", "parmem", "parmem|stw|seq|manticore")
+	flag.Parse()
+
+	mode, err := hh.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := hh.New(hh.WithMode(mode), hh.WithProcs(*procs))
 	defer r.Close()
 
-	sorted := r.Run(func(t *rts.Task) uint64 {
-		// Build the input: size hashed 64-bit values.
-		s := seq.TabulateU64(t, mem.NilPtr, size, grain,
-			func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return seq.Hash64(uint64(i)) })
-		mark := t.PushRoot(&s)
-		out := msort(t, s)
-		t.PopRoots(mark)
+	sorted := hh.Run(r, func(t *hh.Task) bool {
+		ok := true
+		t.Scoped(func(sc *hh.Scope) {
+			// Build the input: size hashed 64-bit values.
+			in := sc.Ref(hh.Tabulate(t, *size, *grain,
+				func(i int) uint64 { return hh.Hash64(uint64(i)) }))
+			out := sc.Ref(msort(t, in.Get(), *grain))
 
-		// Verify the result is sorted.
-		prev := uint64(0)
-		for i := 0; i < size; i++ {
-			v := t.ReadImmWord(out, i)
-			if v < prev {
-				return 0
+			// Verify the result is sorted.
+			prev := uint64(0)
+			for i := 0; i < *size; i++ {
+				v := t.ReadImmWord(out.Get(), i)
+				if v < prev {
+					ok = false
+					return
+				}
+				prev = v
 			}
-			prev = v
-		}
-		return 1
+		})
+		return ok
 	})
 
 	st := r.Stats()
-	fmt.Printf("msort of %d elements on %d workers: sorted=%v\n", size, r.Procs(), sorted == 1)
+	fmt.Printf("msort of %d elements on %d workers (%v): sorted=%v\n",
+		*size, r.Procs(), r.Mode(), sorted)
 	fmt.Printf("  allocations: %d objects (%d KiB)\n", st.Ops.Allocs, st.Ops.AllocWords*8/1024)
 	fmt.Printf("  steals: %d, promotions: %d (pure fork-join data flow promotes nothing)\n",
 		st.Steals, st.Ops.Promotions)
 	fmt.Printf("  collections: %d, copied %d KiB, GC time %.2fms\n",
 		st.GC.Collections, st.GC.WordsCopied*8/1024, float64(st.GCNanos)/1e6)
+	if !sorted {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds every example program once and executes it
+// against all four runtime systems at small problem sizes, asserting its
+// success marker. The examples are the public hh API's acceptance tests:
+// drift in that surface fails this test (and CI) instead of silently
+// rotting the documentation.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test compiles and runs subprocesses")
+	}
+	examples := []struct {
+		dir    string
+		args   []string
+		expect string
+	}{
+		{"quickstart", []string{"-size", "16384", "-grain", "256"}, "sorted=true"},
+		{"histogram", []string{"-n", "65536", "-bins", "64"}, "all counted: true"},
+		{"tournament", []string{"-n", "8192", "-grain", "128"}, "champion ok=true"},
+		{"bfs", []string{"-buckets", "16", "-visits", "64"}, "lists ok=true"},
+	}
+	modes := []string{"parmem", "stw", "seq", "manticore"}
+	tmp := t.TempDir()
+	for _, ex := range examples {
+		bin := filepath.Join(tmp, ex.dir)
+		if out, err := exec.Command("go", "build", "-o", bin, "./examples/"+ex.dir).CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", ex.dir, err, out)
+		}
+		for _, mode := range modes {
+			t.Run(ex.dir+"/"+mode, func(t *testing.T) {
+				args := append([]string{"-mode", mode, "-procs", "2"}, ex.args...)
+				out, err := exec.Command(bin, args...).CombinedOutput()
+				if err != nil {
+					t.Fatalf("%s %v: %v\n%s", ex.dir, args, err, out)
+				}
+				if !strings.Contains(string(out), ex.expect) {
+					t.Fatalf("%s %v: output missing %q:\n%s", ex.dir, args, ex.expect, out)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package hh
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/gc"
+	"repro/internal/rts"
+)
+
+// Mode selects which of the paper's four runtime systems to run.
+type Mode = rts.Mode
+
+// The four systems of the paper's evaluation (§4).
+const (
+	// ParMem is the paper's contribution: a heap per fork-join task,
+	// promotion on entangling writes, concurrent zone collection.
+	ParMem = rts.ParMem
+	// STW is the Spoonhower-style baseline: parallel allocation into flat
+	// worker heaps, sequential stop-the-world collection.
+	STW = rts.STW
+	// Seq is the sequential baseline.
+	Seq = rts.Seq
+	// Manticore models DLG-style local heaps under a shared global heap
+	// with promotion on cross-worker communication.
+	Manticore = rts.Manticore
+)
+
+// Modes lists every mode, in the evaluation's order. Examples and tests
+// range over it to cross-validate the systems.
+var Modes = []Mode{ParMem, STW, Seq, Manticore}
+
+// ParseMode resolves a mode name as printed by Mode.String
+// ("mlton-parmem", "mlton-spoonhower", "mlton", "manticore"), or the
+// short aliases "parmem", "stw", "seq", "manticore".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "parmem", ParMem.String():
+		return ParMem, nil
+	case "stw", STW.String():
+		return STW, nil
+	case "seq", Seq.String():
+		return Seq, nil
+	case "manticore", Manticore.String():
+		return Manticore, nil
+	}
+	return ParMem, fmt.Errorf("hh: unknown mode %q (want parmem|stw|seq|manticore)", s)
+}
+
+// Option configures a Runtime under construction.
+type Option func(*rts.Config)
+
+// WithMode selects the runtime system. Default: ParMem.
+func WithMode(m Mode) Option {
+	return func(c *rts.Config) { c.Mode = m }
+}
+
+// WithProcs sets the worker count (ignored in Seq mode). Default: the
+// machine's CPU count.
+func WithProcs(n int) Option {
+	return func(c *rts.Config) { c.Procs = n }
+}
+
+// WithGCPolicy sets the per-heap collection trigger: collect once a heap
+// holds at least minWords and has grown by ratio over its last live size.
+func WithGCPolicy(minWords int64, ratio float64) Option {
+	return func(c *rts.Config) { c.Policy = gc.Policy{MinWords: minWords, Ratio: ratio} }
+}
+
+// WithMaxConcurrentZones caps how many zone collections may run at once
+// in the hierarchical modes. 0 means one per processor; 1 serializes all
+// collections (the ablation that measures what concurrency buys).
+func WithMaxConcurrentZones(n int) Option {
+	return func(c *rts.Config) { c.MaxConcurrentZones = n }
+}
+
+// WithSTWTrigger sets the stop-the-world trigger (STW mode): collect when
+// global occupancy exceeds max(floorBytes, ratio × live-after-last-GC).
+func WithSTWTrigger(floorBytes int64, ratio float64) Option {
+	return func(c *rts.Config) {
+		c.STWFloorBytes = floorBytes
+		c.STWRatio = ratio
+	}
+}
+
+// WithoutGC disables collection entirely (GC-overhead ablations).
+func WithoutGC() Option {
+	return func(c *rts.Config) { c.DisableGC = true }
+}
+
+// WithoutWritePtrFastPath forces every mutable pointer write through the
+// master-copy lookup (the §3.3 fast-path ablation).
+func WithoutWritePtrFastPath() Option {
+	return func(c *rts.Config) { c.NoWritePtrFastPath = true }
+}
+
+// newConfig applies opts over the defaults.
+func newConfig(opts []Option) rts.Config {
+	cfg := rts.DefaultConfig(ParMem, runtime.NumCPU())
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}

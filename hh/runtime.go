@@ -1,0 +1,61 @@
+package hh
+
+import (
+	"repro/internal/mem"
+	"repro/internal/rts"
+)
+
+// Runtime is one configured runtime system. Create it with New, execute
+// work with Run, inspect it with Stats, and release it with Close.
+type Runtime struct {
+	rt *rts.Runtime
+}
+
+// Stats is a snapshot of a runtime's aggregate statistics: operation
+// counters by cost class (Ops), collection totals (GC, GCNanos), steal
+// counts, peak memory, and the zone-concurrency counters of the
+// hierarchical collector (Zones).
+type Stats = rts.Totals
+
+// New builds and starts a runtime. With no options it runs the paper's
+// hierarchical system (ParMem) on every CPU. At most one Runtime may be
+// open per process — memory accounting is process-global — and New panics
+// if the previous Runtime has not been Closed.
+func New(opts ...Option) *Runtime {
+	return &Runtime{rt: rts.New(newConfig(opts))}
+}
+
+// Mode returns the runtime system in use.
+func (r *Runtime) Mode() Mode { return r.rt.Config().Mode }
+
+// Procs returns the effective processor count.
+func (r *Runtime) Procs() int { return r.rt.Procs() }
+
+// Stats returns aggregate statistics. Call it after Run completes.
+func (r *Runtime) Stats() Stats { return r.rt.Stats() }
+
+// CheckDisentangled verifies the disentanglement invariant over the
+// surviving object graph (a debugging aid; a completed Run has merged
+// every task heap into the root, so this covers everything live).
+func (r *Runtime) CheckDisentangled() error { return r.rt.CheckDisentangled() }
+
+// Close stops the workers and releases every heap owned by the runtime.
+// Closing twice is a no-op.
+func (r *Runtime) Close() { r.rt.Close() }
+
+// ChunksInUse reports the process-wide count of live memory chunks. After
+// Close it returns to its pre-New value unless objects leaked — stress
+// drivers use it as a leak check.
+func ChunksInUse() int64 { return mem.ChunksInUse() }
+
+// Run executes fn as the runtime's root task and returns its result. The
+// result may be any Go value; if it is a Ptr, the pointed-to object
+// remains valid until the next Run or Close on this runtime.
+func Run[T any](r *Runtime, fn func(t *Task) T) T {
+	var out T
+	r.rt.Run(func(inner *rts.Task) uint64 {
+		out = fn(&Task{r: r, inner: inner})
+		return 0
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package hh
+
+import "repro/internal/mem"
+
+// Scope is a lexical root-registration region. Every Ref created on the
+// scope stays registered with the collectors — its slot is updated in
+// place when collections move objects — until the Scoped call that opened
+// the scope returns, at which point all of the scope's slots are
+// unregistered at once. Scopes nest; the balancing PushRoot/PopRoots
+// discipline of the engine cannot be expressed unbalanced through this
+// API, including across panic unwinds.
+type Scope struct {
+	t      *Task
+	parent *Scope
+	mark   int
+	closed bool
+}
+
+// Scoped runs fn inside a fresh innermost scope. On return — normal or
+// panicking — every Ref the scope registered is unregistered and the
+// previous scope becomes innermost again.
+func (t *Task) Scoped(fn func(s *Scope)) {
+	s := &Scope{t: t, parent: t.cur, mark: t.inner.RootCount()}
+	t.cur = s
+	defer func() {
+		s.closed = true
+		t.cur = s.parent
+		t.inner.PopRoots(s.mark)
+	}()
+	fn(s)
+}
+
+// Ref is a rooted handle to a managed object: a stable slot that the
+// collectors keep pointing at the object as it moves. Valid until its
+// scope exits; Get and Set panic afterwards, so a stale handle fails
+// loudly instead of reading reclaimed memory.
+type Ref struct {
+	s    *Scope
+	slot *mem.ObjPtr
+}
+
+// Ref registers p in the scope and returns its rooted handle. The scope
+// must be the task's innermost open scope: registering on an outer scope
+// would interleave the root stack with inner scopes' regions and let an
+// inner exit unregister the slot early.
+func (s *Scope) Ref(p Ptr) Ref {
+	if s.closed {
+		panic("hh: Ref created on an exited Scope")
+	}
+	if s.t.cur != s {
+		panic("hh: Ref created on an outer Scope while an inner Scope is open")
+	}
+	slot := new(mem.ObjPtr)
+	*slot = p.raw
+	s.t.inner.PushRoot(slot)
+	return Ref{s: s, slot: slot}
+}
+
+// Get returns the pointer's current value (tracking any moves the
+// collectors performed since registration).
+func (r Ref) Get() Ptr {
+	r.check()
+	return Ptr{*r.slot}
+}
+
+// Set points the rooted slot at a different object.
+func (r Ref) Set(p Ptr) {
+	r.check()
+	*r.slot = p.raw
+}
+
+func (r Ref) check() {
+	if r.s == nil {
+		panic("hh: use of zero Ref")
+	}
+	if r.s.closed {
+		panic("hh: Ref used after its Scope exited")
+	}
+}

@@ -7,6 +7,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -21,6 +22,34 @@ type Options struct {
 	Reps  int      // runs per measurement; the median is reported
 	Paper bool     // use the paper's original problem sizes
 	Names []string // subset of benchmarks; empty = all
+	JSON  bool     // emit one JSON object per table instead of aligned text
+}
+
+// Table is the machine-readable form of one emitted table (the -json
+// output of cmd/hhbench). Rows carry the same formatted cells as the text
+// rendering, keyed positionally by Header, so perf-trajectory tooling can
+// diff tables across commits without scraping aligned text.
+type Table struct {
+	Table    string     `json:"table"`
+	Title    string     `json:"title"`
+	Procs    int        `json:"procs,omitempty"`
+	Header   []string   `json:"header"`
+	Rows     [][]string `json:"rows"`
+	Failures []string   `json:"validation_failures,omitempty"`
+}
+
+// emit renders a table as JSON (one object per line) or as the titled
+// aligned-text layout, per Options.JSON.
+func (o Options) emit(w io.Writer, t Table) error {
+	if o.JSON {
+		return json.NewEncoder(w).Encode(t)
+	}
+	fmt.Fprintln(w, t.Title)
+	renderTable(w, t.Header, t.Rows)
+	for _, f := range t.Failures {
+		fmt.Fprintln(w, f)
+	}
+	return nil
 }
 
 func (o Options) normalize() Options {
@@ -118,17 +147,6 @@ type mismatch struct {
 	want   uint64
 }
 
-func reportMismatches(w io.Writer, ms []mismatch) {
-	if len(ms) == 0 {
-		fmt.Fprintln(w, "validation: all systems agree on every checksum")
-		return
-	}
-	for _, m := range ms {
-		fmt.Fprintf(w, "VALIDATION FAILURE: %s on %s: checksum %x, want %x\n",
-			m.bench, m.system, m.got, m.want)
-	}
-}
-
 // systemsFor returns the parallel systems compared against the sequential
 // baseline for a benchmark (Figure 10 vs Figure 11 column sets).
 func systemsFor(b *bench.Benchmark) []rts.Mode {
@@ -140,7 +158,7 @@ func systemsFor(b *bench.Benchmark) []rts.Mode {
 
 // benchTable renders the Figure 10 / Figure 11 layout for the given
 // benchmark subset.
-func benchTable(w io.Writer, o Options, pureOnly bool) error {
+func benchTable(w io.Writer, o Options, name, title string, pureOnly bool) error {
 	o = o.normalize()
 	benches := o.selected(pureOnly, !pureOnly)
 	var miss []mismatch
@@ -184,27 +202,35 @@ func benchTable(w io.Writer, o Options, pureOnly bool) error {
 		}
 		rows = append(rows, row)
 	}
-	renderTable(w, header, rows)
-	reportMismatches(w, miss)
+	tab := Table{Table: name, Title: title, Procs: o.Procs, Header: header, Rows: rows}
+	for _, m := range miss {
+		tab.Failures = append(tab.Failures, fmt.Sprintf(
+			"VALIDATION FAILURE: %s on %s: checksum %x, want %x", m.bench, m.system, m.got, m.want))
+	}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(miss) == 0 {
+		fmt.Fprintln(w, "validation: all systems agree on every checksum")
+	}
 	return nil
 }
 
 // Fig10 regenerates the pure-benchmark table.
 func Fig10(w io.Writer, o Options) error {
-	fmt.Fprintln(w, "Figure 10: execution times, overheads, and speedups of purely functional benchmarks")
-	return benchTable(w, o, true)
+	return benchTable(w, o, "fig10",
+		"Figure 10: execution times, overheads, and speedups of purely functional benchmarks", true)
 }
 
 // Fig11 regenerates the imperative-benchmark table.
 func Fig11(w io.Writer, o Options) error {
-	fmt.Fprintln(w, "Figure 11: execution times, overheads, and speedups of imperative benchmarks")
-	return benchTable(w, o, false)
+	return benchTable(w, o, "fig11",
+		"Figure 11: execution times, overheads, and speedups of imperative benchmarks", false)
 }
 
 // Fig12 regenerates the speedup-versus-processors series for mlton-parmem.
 func Fig12(w io.Writer, o Options) error {
 	o = o.normalize()
-	fmt.Fprintln(w, "Figure 12: speedups of mlton-parmem (series per benchmark)")
 	benches := o.selected(false, false)
 	header := []string{"benchmark"}
 	for p := 1; p <= o.Procs; p++ {
@@ -222,14 +248,13 @@ func Fig12(w io.Writer, o Options) error {
 		}
 		rows = append(rows, row)
 	}
-	renderTable(w, header, rows)
-	return nil
+	return o.emit(w, Table{Table: "fig12", Procs: o.Procs, Header: header, Rows: rows,
+		Title: "Figure 12: speedups of mlton-parmem (series per benchmark)"})
 }
 
 // Fig13 regenerates the memory consumption and inflation table.
 func Fig13(w io.Writer, o Options) error {
 	o = o.normalize()
-	fmt.Fprintln(w, "Figure 13: memory consumption (MB) and inflations")
 	benches := o.selected(false, false)
 	header := []string{"benchmark", "Ms(MB)",
 		"spoonhower:I1", fmt.Sprintf("I%d", o.Procs),
@@ -249,15 +274,14 @@ func Fig13(w io.Writer, o Options) error {
 		}
 		rows = append(rows, row)
 	}
-	renderTable(w, header, rows)
-	return nil
+	return o.emit(w, Table{Table: "fig13", Procs: o.Procs, Header: header, Rows: rows,
+		Title: "Figure 13: memory consumption (MB) and inflations"})
 }
 
 // Fig9 regenerates the representative-operations table from the actual
 // operation counters of a hierarchical-heaps run.
 func Fig9(w io.Writer, o Options) error {
 	o = o.normalize()
-	fmt.Fprintln(w, "Figure 9: representative operations (from mlton-parmem op counters)")
 	header := []string{"benchmark", "representative operation", "promotions", "promoted-bytes"}
 	var rows [][]string
 	for _, b := range o.selected(false, false) {
@@ -269,8 +293,8 @@ func Fig9(w io.Writer, o Options) error {
 			fmt.Sprintf("%d", res.Totals.Ops.PromotedBytes()),
 		})
 	}
-	renderTable(w, header, rows)
-	return nil
+	return o.emit(w, Table{Table: "fig9", Procs: o.Procs, Header: header, Rows: rows,
+		Title: "Figure 9: representative operations (from mlton-parmem op counters)"})
 }
 
 // ZoneTable reports the hierarchical collector's concurrency, the
@@ -282,7 +306,6 @@ func Fig9(w io.Writer, o Options) error {
 // time during which two or more zones overlapped.
 func ZoneTable(w io.Writer, o Options) error {
 	o = o.normalize()
-	fmt.Fprintf(w, "Zone concurrency: mlton-parmem collections at P=%d (pause vs mutator time)\n", o.Procs)
 	header := []string{"benchmark", "T_P", "mut-cpu(s)", "gc-cpu(s)", "gc%",
 		"zones", "leaf", "join", "maxcc", "ovl(ms)"}
 	var rows [][]string
@@ -307,22 +330,21 @@ func ZoneTable(w io.Writer, o Options) error {
 			fmt.Sprintf("%.1f", float64(z.OverlapNanos)/1e6),
 		})
 	}
-	renderTable(w, header, rows)
-	return nil
+	return o.emit(w, Table{Table: "zones", Procs: o.Procs, Header: header, Rows: rows,
+		Title: fmt.Sprintf("Zone concurrency: mlton-parmem collections at P=%d (pause vs mutator time)", o.Procs)})
 }
 
 // Fig8 regenerates the operation-cost matrix.
-func Fig8(w io.Writer, iters int) error {
+func Fig8(w io.Writer, o Options, iters int) error {
 	if iters < 1 {
 		iters = 200_000
 	}
-	fmt.Fprintln(w, "Figure 8: costs of memory operations (ns/op, mlton-parmem, GC off)")
 	rows := bench.Fig8Costs(iters)
 	header := []string{"object", "operation", "ns/op"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{r.Object, r.Op, fmt.Sprintf("%.1f", r.NsPerOp)})
 	}
-	renderTable(w, header, cells)
-	return nil
+	return o.emit(w, Table{Table: "fig8", Header: header, Rows: cells,
+		Title: "Figure 8: costs of memory operations (ns/op, mlton-parmem, GC off)"})
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestOptionsScale(t *testing.T) {
 
 func TestFig8Smoke(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig8(&sb, 500); err != nil {
+	if err := Fig8(&sb, Options{}, 500); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -73,6 +74,37 @@ func TestFig8Smoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("figure 8 output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestJSONEmission(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig8(&sb, Options{JSON: true}, 500); err != nil {
+		t.Fatal(err)
+	}
+	var tab Table
+	if err := json.Unmarshal([]byte(sb.String()), &tab); err != nil {
+		t.Fatalf("fig8 -json is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if tab.Table != "fig8" || len(tab.Header) != 3 || len(tab.Rows) == 0 {
+		t.Fatalf("unexpected payload: %+v", tab)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row/header width mismatch: %v vs %v", row, tab.Header)
+		}
+	}
+
+	sb.Reset()
+	o := Options{Procs: 2, Names: []string{"fib"}, JSON: true}
+	if err := Fig9(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &tab); err != nil {
+		t.Fatalf("fig9 -json is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if tab.Table != "fig9" || tab.Procs != 2 {
+		t.Fatalf("unexpected payload: %+v", tab)
 	}
 }
 

@@ -142,6 +142,91 @@ func (t *Task) ForkJoinScalar(env mem.ObjPtr, f, g ScalarThunk) (uint64, uint64)
 	return rf, rg
 }
 
+// ForkJoinN runs n thunks in parallel and returns all n results. Unlike a
+// binary fork tree, every arm after the first is published as its own
+// stealable frame before any arm runs, so up to n-1 thieves can start
+// immediately instead of waiting for the right spine to unfold.
+//
+// Heap management follows the same Appendix B discipline as ForkJoin: the
+// superheap gains one level for the whole fork, every stolen arm bases a
+// child superheap at the fork-point heap (making the arms siblings in the
+// hierarchy), and each join adopts the thief's superheap back. After the
+// last arm joins, the level pops and the merged ancestor is considered for
+// internal-node collection.
+func (t *Task) ForkJoinN(env mem.ObjPtr, fs ...Thunk) []mem.ObjPtr {
+	n := len(fs)
+	res := make([]mem.ObjPtr, n)
+	if n == 0 {
+		return res
+	}
+	r := t.rt
+	if n == 1 || r.cfg.Mode == Seq {
+		mark := t.PushRoot(&env)
+		for i, f := range fs {
+			res[i] = f(t, env)
+			t.PushRoot(&res[i]) // earlier results stay rooted across later arms
+		}
+		t.PopRoots(mark)
+		return res
+	}
+	frames := make([]*frame, n) // frames[0] stays nil: arm 0 runs inline
+	mark := t.PushRoot(&env)
+	for i := 1; i < n; i++ {
+		fr := &frame{env: env, ownerWS: t.ws}
+		frames[i] = fr
+		t.PushRoot(&fr.env)
+		if r.cfg.Mode == STW {
+			// See ForkJoin: only the stop-the-world collector may need to
+			// relocate a stolen result before the join observes it.
+			t.PushRoot(&fr.result)
+		}
+	}
+	if r.gcFlag.Load() {
+		t.stopForGCTask() // fork safe point; every frame env is rooted above
+	}
+	if r.cfg.Mode == ParMem {
+		forkHeap := t.sh.Current()
+		for i := 1; i < n; i++ {
+			frames[i].forkHeap = forkHeap
+		}
+		t.sh.Push()
+	}
+	for i := 1; i < n; i++ {
+		fr, g := frames[i], fs[i]
+		fr.sf = sched.NewFrame(func(thief *sched.Worker) {
+			r.runStolen(fr, g, thief)
+		})
+		t.w.Push(fr.sf)
+	}
+	res[0] = fs[0](t, env)
+	t.PushRoot(&res[0])
+	// Join in LIFO order: the deque pops the most recently published frame
+	// first, so un-stolen arms run inline in publish-reverse order while
+	// thieves drain the earlier arms from the top.
+	for i := n - 1; i >= 1; i-- {
+		fr := frames[i]
+		if popped := t.w.PopBottom(); popped == fr.sf {
+			res[i] = fs[i](t, fr.env)
+		} else {
+			if popped != nil {
+				panic("rts: foreign frame popped at join")
+			}
+			t.w.WaitHelp(fr.sf)
+			res[i] = fr.result
+			if r.cfg.Mode == ParMem {
+				t.sh.AdoptJoin(fr.childSH)
+			}
+		}
+		t.PushRoot(&res[i]) // rooted across the remaining inline arms
+	}
+	if r.cfg.Mode == ParMem {
+		t.sh.PopJoin()
+		t.maybeCollectJoin() // all results are rooted above
+	}
+	t.PopRoots(mark)
+	return res
+}
+
 // runStolen executes a stolen pointer-result frame on the thief.
 func (r *Runtime) runStolen(fr *frame, g Thunk, thief *sched.Worker) {
 	st := r.newStolenTask(thief, fr.forkHeap)

@@ -357,6 +357,123 @@ func TestRootsPushPop(t *testing.T) {
 	})
 }
 
+func TestOneActiveRuntimeEnforced(t *testing.T) {
+	r1 := New(testConfig(Seq, 1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second New with an open Runtime did not panic")
+			}
+		}()
+		New(testConfig(ParMem, 2))
+	}()
+	// The failed New must not have poisoned the active flag.
+	if got := r1.Run(func(task *Task) uint64 { return 42 }); got != 42 {
+		t.Fatalf("first runtime broken after rejected New: got %d", got)
+	}
+	r1.Close()
+	r1.Close() // double Close is a no-op, not a flag corruption
+	r2 := New(testConfig(ParMem, 2))
+	if got := r2.Run(func(task *Task) uint64 { return 7 }); got != 7 {
+		t.Fatalf("runtime after Close broken: got %d", got)
+	}
+	r2.Close()
+}
+
+func TestForkJoinNAllModes(t *testing.T) {
+	const arms = 5
+	for _, mode := range allModes {
+		for _, procs := range []int{1, 4} {
+			if mode == Seq && procs > 1 {
+				continue
+			}
+			r := New(testConfig(mode, procs))
+			got := r.Run(func(task *Task) uint64 {
+				env := task.AllocMut(0, 1, mem.TagRef)
+				mark := task.PushRoot(&env)
+				task.WriteNonptr(env, 0, 100)
+				fs := make([]Thunk, arms)
+				for i := range fs {
+					i := i
+					fs[i] = func(t *Task, env mem.ObjPtr) mem.ObjPtr {
+						// Each arm builds its own tree (allocation pressure,
+						// stealable sub-forks) and boxes a derived value. env
+						// is re-rooted because the arm allocates.
+						m := t.PushRoot(&env)
+						root := buildTree(t, 6)
+						t.PushRoot(&root)
+						box := t.Alloc(0, 1, mem.TagRef)
+						t.WriteInitWord(box, 0, uint64(i)*1000+sumTree(t, root)+t.ReadMutWord(env, 0))
+						t.PopRoots(m)
+						return box
+					}
+				}
+				res := task.ForkJoinN(env, fs...)
+				task.PopRoots(mark)
+				var sum uint64
+				for _, p := range res {
+					sum += task.ReadImmWord(p, 0)
+				}
+				return sum
+			})
+			st := r.Stats()
+			r.Close()
+			want := uint64(0)
+			for i := 0; i < arms; i++ {
+				want += uint64(i)*1000 + (1 << 6) + 100
+			}
+			if got != want {
+				t.Fatalf("%v procs=%d: ForkJoinN sum = %d, want %d", mode, procs, got, want)
+			}
+			if st.Ops.Allocs == 0 {
+				t.Fatalf("%v: no allocations recorded", mode)
+			}
+		}
+	}
+}
+
+func TestForkJoinNCollectsUnderPressure(t *testing.T) {
+	// Aggressive policy + garbage churn inside every arm: results and envs
+	// must survive leaf and join collections in every mode.
+	for _, mode := range allModes {
+		procs := 4
+		if mode == Seq {
+			procs = 1
+		}
+		r := New(testConfig(mode, procs))
+		got := r.Run(func(task *Task) uint64 {
+			fs := make([]Thunk, 6)
+			for i := range fs {
+				i := i
+				fs[i] = func(t *Task, _ mem.ObjPtr) mem.ObjPtr {
+					keep := t.Alloc(0, 1, mem.TagRef)
+					t.WriteInitWord(keep, 0, uint64(i+1))
+					m := t.PushRoot(&keep)
+					for j := 0; j < 4000; j++ {
+						t.Alloc(0, 4, mem.TagTuple) // garbage
+					}
+					t.PopRoots(m)
+					return keep
+				}
+			}
+			res := task.ForkJoinN(mem.NilPtr, fs...)
+			var sum uint64
+			for _, p := range res {
+				sum += task.ReadImmWord(p, 0)
+			}
+			return sum
+		})
+		st := r.Stats()
+		r.Close()
+		if got != 21 {
+			t.Fatalf("%v: sum = %d, want 21", mode, got)
+		}
+		if st.GC.Collections == 0 {
+			t.Fatalf("%v: expected collections under the tiny policy", mode)
+		}
+	}
+}
+
 func TestModeString(t *testing.T) {
 	names := map[Mode]string{
 		ParMem:    "mlton-parmem",

@@ -12,11 +12,13 @@ import (
 )
 
 // Runtime is one configured runtime system. Create with New, execute with
-// Run, inspect with Stats, and release with Close. One Runtime should be
-// active at a time (memory accounting is process-global).
+// Run, inspect with Stats, and release with Close. Exactly one Runtime may
+// be active at a time (memory accounting is process-global); New panics if
+// the previous Runtime has not been Closed.
 type Runtime struct {
-	cfg  Config
-	pool *sched.Pool
+	cfg    Config
+	pool   *sched.Pool
+	closed atomic.Bool
 
 	// rootHeap is the hierarchy root (ParMem, Seq) or the shared global
 	// heap (Manticore). Unused in STW mode.
@@ -56,8 +58,19 @@ type workerState struct {
 	tasks map[*Task]struct{}
 }
 
-// New builds and starts a runtime for the given configuration.
+// activeRuntime enforces the one-active-Runtime rule. The peak-memory and
+// live-byte accounting in package mem is process-global: two overlapping
+// runtimes would silently attribute each other's allocations to their own
+// baselines and high-water marks.
+var activeRuntime atomic.Bool
+
+// New builds and starts a runtime for the given configuration. It panics
+// if another Runtime is still open: memory accounting is process-global,
+// so overlapping runtimes would corrupt each other's statistics.
 func New(cfg Config) *Runtime {
+	if !activeRuntime.CompareAndSwap(false, true) {
+		panic("rts: another Runtime is active; Close it before calling New (memory accounting is process-global)")
+	}
 	if cfg.Procs < 1 {
 		cfg.Procs = 1
 	}
@@ -233,8 +246,14 @@ func (r *Runtime) CheckDisentangled() error {
 	return core.CheckHeap(r.rootHeap)
 }
 
-// Close stops the workers and releases every heap owned by the runtime.
+// Close stops the workers, releases every heap owned by the runtime, and
+// allows a new Runtime to be created. Closing twice is a no-op; only the
+// first caller releases (concurrent Closes must not double-free the
+// chunk lists or re-arm the exclusivity flag under a newer Runtime).
 func (r *Runtime) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
 	if r.pool != nil {
 		r.pool.Close()
 	}
@@ -246,4 +265,5 @@ func (r *Runtime) Close() {
 	if r.rootHeap != nil && r.rootHeap.IsAlive() {
 		heap.FreeChunkList(r.rootHeap.TakeChunks())
 	}
+	activeRuntime.Store(false)
 }

@@ -47,6 +47,10 @@ func (t *Task) PushRoot(slots ...*mem.ObjPtr) int {
 	return mark
 }
 
+// RootCount reports how many root slots are currently registered. The
+// public façade's scope tests use it to verify push/pop balance.
+func (t *Task) RootCount() int { return len(t.roots) }
+
 // PopRoots unregisters every slot pushed since the mark.
 func (t *Task) PopRoots(mark int) {
 	for i := mark; i < len(t.roots); i++ {

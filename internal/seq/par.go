@@ -1,6 +1,8 @@
 package seq
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/rts"
 )
@@ -10,11 +12,19 @@ import (
 // stolen work always sees valid (possibly promoted) pointers. Callback
 // functions must not capture mem.ObjPtr values; pointers travel in env.
 
+// checkGrain rejects non-positive grains. A grain of zero or less used to
+// be clamped silently, hiding scale bugs (a miscomputed grain collapses
+// the combinator to maximum fork depth or, worse, makes the caller believe
+// it chose a sequential cutoff it never got).
+func checkGrain(op string, grain int) {
+	if grain < 1 {
+		panic(fmt.Sprintf("seq: %s grain must be >= 1, got %d", op, grain))
+	}
+}
+
 // ParDo runs body over [lo,hi) in parallel, splitting down to grain.
 func ParDo(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Task, env mem.ObjPtr, lo, hi int)) {
-	if grain < 1 {
-		grain = 1
-	}
+	checkGrain("ParDo", grain)
 	if hi-lo <= grain {
 		if hi > lo {
 			body(t, env, lo, hi)
@@ -29,9 +39,7 @@ func ParDo(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Task
 
 // ParSum folds body's results over [lo,hi) with addition.
 func ParSum(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Task, env mem.ObjPtr, lo, hi int) uint64) uint64 {
-	if grain < 1 {
-		grain = 1
-	}
+	checkGrain("ParSum", grain)
 	if hi-lo <= grain {
 		if hi <= lo {
 			return 0
@@ -49,9 +57,7 @@ func ParSum(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, body func(t *rts.Tas
 // sized ranges. Leaves are allocated by the task that computes them; the
 // interior nodes are allocated after the children join.
 func ParCollect(t *rts.Task, env mem.ObjPtr, lo, hi, grain int, leaf func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr) mem.ObjPtr {
-	if grain < 1 {
-		grain = 1
-	}
+	checkGrain("ParCollect", grain)
 	if hi-lo <= grain {
 		return leaf(t, env, lo, hi)
 	}

@@ -357,3 +357,27 @@ func TestParDoAndParSum(t *testing.T) {
 		t.Fatalf("parsum = %d", got)
 	}
 }
+
+func TestNonPositiveGrainPanics(t *testing.T) {
+	mustPanic := func(name string, fn func(task *rts.Task)) {
+		t.Helper()
+		runOn(t, rts.Seq, 1, func(task *rts.Task) uint64 {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with non-positive grain did not panic", name)
+				}
+			}()
+			fn(task)
+			return 0
+		})
+	}
+	noop := func(t *rts.Task, env mem.ObjPtr, lo, hi int) {}
+	zero := func(t *rts.Task, env mem.ObjPtr, lo, hi int) uint64 { return 0 }
+	leaf := func(t *rts.Task, env mem.ObjPtr, lo, hi int) mem.ObjPtr { return NewLeafU64(t, hi-lo) }
+	mustPanic("ParDo", func(task *rts.Task) { ParDo(task, mem.NilPtr, 0, 10, 0, noop) })
+	mustPanic("ParSum", func(task *rts.Task) { ParSum(task, mem.NilPtr, 0, 10, -3, zero) })
+	mustPanic("ParCollect", func(task *rts.Task) { ParCollect(task, mem.NilPtr, 0, 10, 0, leaf) })
+	mustPanic("TabulateU64", func(task *rts.Task) {
+		TabulateU64(task, mem.NilPtr, 10, 0, func(t *rts.Task, _ mem.ObjPtr, i int) uint64 { return 0 })
+	})
+}
