@@ -9,38 +9,67 @@
 //	hhbench -table fig9               # representative operations
 //	hhbench -table fig8               # operation cost matrix
 //	hhbench -table zones              # zone-collection concurrency (parmem)
+//	hhbench -table serve              # serving-layer throughput/latency (all systems)
 //	hhbench -table all                # everything
 //	hhbench -bench msort,usp-tree ... # subset of benchmarks
 //	hhbench -paper                    # the paper's original problem sizes
 //	hhbench -table fig10 -json > BENCH_fig10.json   # machine-readable output
+//	hhbench -table all -json -out .   # one BENCH_<table>.json file per table
 //
 // With -json each table is emitted as one JSON object per line (JSON
-// Lines): {"table","title","procs","header","rows",...}, with the same
-// formatted cells as the text rendering — the stable interface for
-// tracking the performance trajectory across commits.
+// Lines): {"schema","commit","table","title","procs","header","rows",...},
+// with the same formatted cells as the text rendering — the stable
+// interface for tracking the performance trajectory across commits. With
+// -out DIR each table is additionally written to DIR/BENCH_<table>.json
+// (the perf-trajectory artifacts CI uploads); "schema" names the layout
+// version and "commit" the VCS revision that produced the numbers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/report"
 )
 
+// resolveCommit finds the VCS revision to stamp into emitted tables: the
+// binary's embedded build info when present, then git, then "unknown".
+func resolveCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
 func main() {
-	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|all")
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|all")
 	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	names := flag.String("bench", "", "comma-separated benchmark subset")
 	paper := flag.Bool("paper", false, "use the paper's original problem sizes (slow)")
 	iters := flag.Int("fig8-iters", 200_000, "iterations per figure-8 cell")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per table (JSON Lines) instead of text")
+	outDir := flag.String("out", "", "also write each table to DIR/BENCH_<table>.json")
+	commit := flag.String("commit", "", "commit id stamped into tables (default: build info, then git)")
 	flag.Parse()
 
-	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper, JSON: *jsonOut}
+	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper, JSON: *jsonOut,
+		OutDir: *outDir, Commit: *commit}
+	if opts.Commit == "" {
+		opts.Commit = resolveCommit()
+	}
 	if *names != "" {
 		opts.Names = strings.Split(*names, ",")
 	}
@@ -73,6 +102,8 @@ func main() {
 			run(tb, func() error { return report.Fig13(w, opts) })
 		case "zones":
 			run(tb, func() error { return report.ZoneTable(w, opts) })
+		case "serve":
+			run(tb, func() error { return report.ServeTable(w, opts) })
 		case "all":
 			run("fig8", func() error { return report.Fig8(w, opts, *iters) })
 			run("fig9", func() error { return report.Fig9(w, opts) })
@@ -81,6 +112,7 @@ func main() {
 			run("fig12", func() error { return report.Fig12(w, opts) })
 			run("fig13", func() error { return report.Fig13(w, opts) })
 			run("zones", func() error { return report.ZoneTable(w, opts) })
+			run("serve", func() error { return report.ServeTable(w, opts) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %q\n", tb)
 			os.Exit(2)

@@ -1,0 +1,159 @@
+// Command hhload is the closed-loop load generator for the serving layer:
+// N client goroutines drive a weighted scenario mix (kv-churn, bfs query,
+// histogram) through an hh/serve.Server, each request running as its own
+// root-level session that is reclaimed wholesale at completion.
+//
+//	hhload -mode all -procs 4 -sessions 8 -requests 96
+//
+// For every runtime mode it reports serving statistics (throughput,
+// latency quantiles, peak concurrency), the runtime's session and
+// zone-concurrency counters, and it FAILS (exit 1) if any request
+// miscomputes, if the per-request checksum stream diverges between modes,
+// if chunk occupancy does not return to baseline after Drain, or if parmem
+// never collected two session subtrees concurrently (disable with
+// -min-zone-sessions 0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+)
+
+func main() {
+	modeName := flag.String("mode", "all", "parmem|stw|seq|manticore|all")
+	procs := flag.Int("procs", runtime.NumCPU(), "workers per runtime")
+	sessions := flag.Int("sessions", 8, "concurrent client sessions (served in-flight cap)")
+	requests := flag.Int("requests", 96, "total requests per mode")
+	size := flag.Int("size", 1200, "work per request (elements)")
+	mixSpec := flag.String("mix", "kv=2,bfs=1,hist=1", "weighted scenario mix")
+	budget := flag.Int64("budget", 0, "per-session allocation budget in words (0 = unlimited)")
+	gcMin := flag.Int64("gc-min", 2048, "collection trigger: minimum heap words")
+	gcRatio := flag.Float64("gc-ratio", 1.25, "collection trigger: growth ratio")
+	minZoneSessions := flag.Int64("min-zone-sessions", 2,
+		"fail unless parmem observes this many sessions collecting concurrently (0 = off)")
+	flag.Parse()
+
+	// The pool simulates *procs processors; give the Go scheduler at least
+	// as many, so disjoint session collections can overlap in wall time
+	// even when the host has fewer cores.
+	if runtime.GOMAXPROCS(0) < *procs {
+		runtime.GOMAXPROCS(*procs)
+	}
+
+	mix, err := load.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var modes []hh.Mode
+	if *modeName == "all" {
+		modes = hh.Modes
+	} else {
+		m, err := hh.ParseMode(*modeName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		modes = []hh.Mode{m}
+	}
+
+	failed := false
+	var refSum uint64
+	var refMode string
+	for _, mode := range modes {
+		sum, ok := driveMode(mode, *procs, *sessions, *requests, *size, mix, *budget,
+			*gcMin, *gcRatio, *minZoneSessions)
+		if !ok {
+			failed = true
+		}
+		// Every mode must hand all chunks back once its runtime closes.
+		if got := hh.ChunksInUse(); got != 0 {
+			fmt.Fprintf(os.Stderr, "%s: LEAK: %d chunks in use after Close\n", mode, got)
+			failed = true
+		}
+		if refMode == "" {
+			refSum, refMode = sum, mode.String()
+		} else if sum != refSum {
+			fmt.Fprintf(os.Stderr, "CHECKSUM DIVERGENCE: %s total %x, %s total %x\n",
+				mode, sum, refMode, refSum)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("hhload ok: %d requests x %d mode(s), stream checksum %x\n",
+		*requests, len(modes), refSum)
+}
+
+// driveMode runs one closed loop against one runtime mode and returns the
+// order-independent checksum of the whole request stream.
+func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
+	budget, gcMin int64, gcRatio float64, minZoneSessions int64) (uint64, bool) {
+
+	r := hh.New(hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(gcMin, gcRatio))
+	defer r.Close()
+	base := hh.ChunksInUse()
+	hierarchical := mode == hh.ParMem || mode == hh.Seq
+
+	srv := serve.New(r,
+		serve.WithMaxInFlight(sessions),
+		serve.WithQueueDepth(2*sessions),
+		serve.WithSessionBudget(budget))
+
+	ok := true
+	res := load.Drive(srv, mix, sessions, requests, size,
+		func(idx int64, scenario string, err error) {
+			fmt.Fprintf(os.Stderr, "%s: request %d (%s) failed: %v\n", mode, idx, scenario, err)
+		})
+
+	st := srv.Stats()
+	rt := r.Stats()
+	fmt.Printf("%-18s %5d req in %8s  %7.1f req/s  p50 %-9s p99 %-9s max %-9s peak %d inflight\n",
+		mode.String()+":", st.Completed, res.Elapsed.Round(time.Millisecond), st.Throughput,
+		st.LatencyP50.Round(time.Microsecond), st.LatencyP99.Round(time.Microsecond),
+		st.LatencyMax.Round(time.Microsecond), st.PeakInFlight)
+	fmt.Printf("    sessions: peak %d live, %d KiB reclaimed wholesale, %d KiB merged; %d steals, %d promotions\n",
+		rt.Sessions.PeakLive, rt.Sessions.WholesaleBytes>>10, rt.Sessions.MergedBytes>>10,
+		rt.Steals, rt.Ops.Promotions)
+	fmt.Printf("    zones: %d total (%d session-tagged), peak %d concurrent, peak %d sessions collecting, %s overlap\n",
+		rt.Zones.Zones, rt.Zones.SessionZones, rt.Zones.MaxConcurrent,
+		rt.Zones.MaxConcurrentSessions, time.Duration(rt.Zones.OverlapNanos).Round(time.Microsecond))
+
+	if res.Failures > 0 {
+		ok = false
+	}
+	if err := r.CheckDisentangled(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", mode, err)
+		ok = false
+	}
+	// Post-drain baseline is the wholesale-reclamation property, so it is a
+	// hierarchical-mode check: flat-mode sessions leave their garbage in the
+	// shared worker heaps until the next collection or Close (main re-checks
+	// every mode for zero chunks after Close).
+	if got := hh.ChunksInUse(); hierarchical && got != base {
+		fmt.Fprintf(os.Stderr, "%s: LEAK: %d chunks in use after drain, want baseline %d\n", mode, got, base)
+		ok = false
+	}
+	if st.PeakInFlight < sessions && st.Completed >= int64(2*sessions) {
+		// Advisory only: with clients == MaxInFlight a slot frees between a
+		// completion and that client's next submit, so a heavily serialized
+		// host (1 core, race detector) can legitimately never catch all
+		// clients in flight at one instant.
+		fmt.Fprintf(os.Stderr, "%s: note: closed loop did not saturate: peak in-flight %d < %d\n",
+			mode, st.PeakInFlight, sessions)
+	}
+	if mode == hh.ParMem && minZoneSessions > 0 && rt.Zones.MaxConcurrentSessions < minZoneSessions {
+		fmt.Fprintf(os.Stderr, "parmem: only %d session(s) observed collecting concurrently, want >= %d\n",
+			rt.Zones.MaxConcurrentSessions, minZoneSessions)
+		ok = false
+	}
+	return res.Checksum, ok
+}

@@ -3,9 +3,13 @@
 // PPoPP 2018).
 //
 // The public API is package hh: a typed, scope-safe façade — generic
-// Run/Fork2/ForkN, functional-option runtimes, and lexically scoped GC
-// roots (Ref/Scope) — over the engine layers. Start there; the examples/
-// programs are written against it and double as its acceptance tests.
+// Run/Fork2/ForkN, functional-option runtimes, lexically scoped GC roots
+// (Ref/Scope), and concurrent root-level sessions (Submit/Wait with
+// wholesale reclamation) — over the engine layers. Package hh/serve adds
+// the serving policy (admission control, backpressure, budgets, latency
+// stats) for running many simultaneous requests on one runtime. Start
+// there; the examples/ programs are written against hh and double as its
+// acceptance tests.
 //
 // The engine lives under internal/: the simulated managed-memory
 // substrate (mem), hierarchical heaps (heap), the paper's promotion

@@ -81,9 +81,28 @@
 // [New] builds a runtime for one of the paper's four systems ([ParMem],
 // [STW], [Seq], [Manticore]). Memory accounting is process-global, so at
 // most one Runtime may be open at a time; New panics if the previous one
-// was not closed. A Ptr returned from [Run] stays valid until the next
-// Run or Close on the runtime (all task heaps have merged into the root
-// heap by then, and nothing collects between runs).
+// was not closed.
+//
+// # Sessions and result lifetimes
+//
+// Every unit of work is a session: an independent root-level subtree of
+// the hierarchy. [Run] executes one pinned session and blocks; [Submit]
+// starts a session that runs concurrently with the caller and with other
+// sessions, which is how a serving process hosts many simultaneous
+// requests on one runtime (package hh/serve adds admission control and
+// backpressure on top).
+//
+// Result lifetime follows the session's reclamation policy, not "until the
+// next Run" (sessions are concurrent, so there is no next-Run boundary):
+//
+//   - An UNPINNED session ([SessionOpts].Pin false) is reclaimed wholesale
+//     when it completes — its chunks are released in bulk and every Ptr it
+//     created is dead once Wait returns. Its uint64 result (a checksum, a
+//     count, a scalar answer) is the only thing that survives.
+//   - A PINNED session (Run, or Pin true) merges its subtree into the
+//     process super-root at completion, so a Ptr result and everything
+//     reachable from it stay valid until Close. Pinned memory is never
+//     collected: pin results, not scratch space.
 //
 // The engine layers under internal/ (mem, heap, core, gc, sched, rts,
 // seq, graph, bench, report) remain the reference implementation of the

@@ -48,9 +48,14 @@ func (r *Runtime) Close() { r.rt.Close() }
 // drivers use it as a leak check.
 func ChunksInUse() int64 { return mem.ChunksInUse() }
 
-// Run executes fn as the runtime's root task and returns its result. The
-// result may be any Go value; if it is a Ptr, the pointed-to object
-// remains valid until the next Run or Close on this runtime.
+// Run executes fn as a single PINNED session — Submit + Wait — and blocks
+// for its result. The result may be any Go value; if it is (or contains) a
+// Ptr, the pointed-to objects remain valid until Close, because pinning
+// merges the session's subtree into the super-root, which is never
+// collected. Concurrent sessions started with Submit may run alongside and
+// cannot invalidate a pinned result; only unpinned sessions' own pointers
+// die when their subtree is reclaimed wholesale at Wait. A panic inside fn
+// is re-raised on the calling goroutine.
 func Run[T any](r *Runtime, fn func(t *Task) T) T {
 	var out T
 	r.rt.Run(func(inner *rts.Task) uint64 {

@@ -1,0 +1,41 @@
+// Package serve is the session-per-subtree serving layer over the
+// hierarchical-heaps runtime: a [Server] accepts independent requests,
+// runs each as its own root-level session (an independent subtree of the
+// heap hierarchy), and reclaims the request's entire memory wholesale when
+// it completes.
+//
+// The design follows directly from the paper's hierarchy invariant:
+// disjoint task subtrees are independent units of allocation AND
+// collection. A request that never shares mutable state with another
+// request therefore needs no global collection at all — while it runs, its
+// zones collect concurrently with every other request's, and when it
+// finishes its chunks are released in bulk, region-style, at cost
+// proportional to the chunk count rather than the live data. The server
+// adds the serving policy the runtime itself does not have:
+//
+//   - admission control: at most MaxInFlight sessions run at once;
+//   - bounded backpressure: excess requests queue up to QueueDepth, and
+//     beyond that Submit fails fast with [ErrSaturated] so callers shed
+//     load instead of buffering it;
+//   - per-session budgets: a request that allocates past its word budget
+//     is aborted (ErrBudgetExceeded) and reclaimed, without disturbing its
+//     neighbours — as is a request that panics;
+//   - accounting: throughput, latency quantiles, peak concurrency, and
+//     bytes reclaimed wholesale versus merged ([Server.Stats]).
+//
+// Typical use:
+//
+//	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(8))
+//	defer r.Close()
+//	srv := serve.New(r, serve.WithMaxInFlight(8), serve.WithQueueDepth(64))
+//	tk, err := srv.Submit(func(t *hh.Task) uint64 { ...request work... })
+//	if err != nil { ...shed load... }
+//	res, err := tk.Wait()
+//	...
+//	srv.Drain() // quiesce: every accepted request completed
+//
+// Results are plain uint64 words (checksums, counts, encoded answers). A
+// request whose object graph must outlive it submits with Pin, at the cost
+// of growing the never-collected super-root; see the hh package's session
+// documentation for the lifetime rules.
+package serve

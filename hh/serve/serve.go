@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/hh"
+)
+
+// ErrSaturated rejects a Submit that found the server at MaxInFlight with
+// a full backpressure queue. Callers shed the request (or retry after
+// backoff); the server never buffers unboundedly.
+var ErrSaturated = errors.New("serve: server saturated (in-flight cap and queue both full)")
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMaxInFlight caps how many sessions run simultaneously. Default: the
+// runtime's processor count.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.maxInFlight = n }
+}
+
+// WithQueueDepth bounds the backpressure queue that holds accepted
+// requests waiting for an in-flight slot. 0 disables queueing (over-cap
+// submissions fail immediately). Default: 4 × MaxInFlight.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) { s.queueDepth = n }
+}
+
+// WithSessionBudget sets the default per-session allocation budget in
+// words (0 = unlimited). Individual requests may override it.
+func WithSessionBudget(words int64) Option {
+	return func(s *Server) { s.budget = words }
+}
+
+// Request is one unit of work with its per-request policy.
+type Request struct {
+	// Fn is the request body, run as its own session.
+	Fn func(t *hh.Task) uint64
+	// Pin merges the session's subtree into the super-root instead of
+	// reclaiming it wholesale (see the hh session lifetime rules).
+	Pin bool
+	// BudgetWords overrides the server's default session budget when > 0.
+	BudgetWords int64
+}
+
+// Ticket is the caller's handle to one accepted request.
+type Ticket struct {
+	srv       *Server
+	req       Request
+	submitted time.Time
+	ses       *hh.Session
+	res       uint64
+	err       error
+	done      chan struct{}
+}
+
+// Wait blocks until the request's session completes and returns its
+// result or failure (hh.ErrBudgetExceeded, *hh.PanicError).
+func (tk *Ticket) Wait() (uint64, error) {
+	<-tk.done
+	return tk.res, tk.err
+}
+
+// Server runs independent requests as concurrent root-level sessions with
+// admission control, bounded backpressure, and serving statistics. All
+// methods are safe for concurrent use.
+type Server struct {
+	r           *hh.Runtime
+	maxInFlight int
+	queueDepth  int
+	budget      int64
+
+	mu       sync.Mutex
+	quiesced *sync.Cond
+	inFlight int
+	queue    []*Ticket
+
+	stats       ServeStats
+	hist        latencyHist
+	firstSubmit time.Time
+	lastDone    time.Time
+}
+
+// New builds a Server over an open runtime. The runtime is shared: the
+// caller may still Run/Submit on it directly, and remains responsible for
+// closing it (after Drain).
+func New(r *hh.Runtime, opts ...Option) *Server {
+	s := &Server{r: r, maxInFlight: r.Procs(), queueDepth: -1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.maxInFlight < 1 {
+		s.maxInFlight = 1
+	}
+	if s.queueDepth < 0 {
+		s.queueDepth = 4 * s.maxInFlight
+	}
+	s.quiesced = sync.NewCond(&s.mu)
+	return s
+}
+
+// Runtime returns the runtime the server serves on.
+func (s *Server) Runtime() *hh.Runtime { return s.r }
+
+// Submit offers fn as a request with the server's default policy.
+func (s *Server) Submit(fn func(t *hh.Task) uint64) (*Ticket, error) {
+	return s.SubmitRequest(Request{Fn: fn})
+}
+
+// SubmitRequest offers one request. It never blocks: the request is
+// started immediately if an in-flight slot is free, queued if the
+// backpressure queue has room, and rejected with ErrSaturated otherwise.
+func (s *Server) SubmitRequest(req Request) (*Ticket, error) {
+	tk := &Ticket{srv: s, req: req, submitted: time.Now(), done: make(chan struct{})}
+	s.mu.Lock()
+	if s.firstSubmit.IsZero() {
+		s.firstSubmit = tk.submitted
+	}
+	if s.inFlight < s.maxInFlight {
+		s.inFlight++
+		if s.inFlight > s.stats.PeakInFlight {
+			s.stats.PeakInFlight = s.inFlight
+		}
+		s.stats.Submitted++
+		s.mu.Unlock()
+		s.launch(tk)
+		return tk, nil
+	}
+	if len(s.queue) < s.queueDepth {
+		s.queue = append(s.queue, tk)
+		if len(s.queue) > s.stats.PeakQueued {
+			s.stats.PeakQueued = len(s.queue)
+		}
+		s.stats.Submitted++
+		s.mu.Unlock()
+		return tk, nil
+	}
+	s.stats.Rejected++
+	s.mu.Unlock()
+	return nil, ErrSaturated
+}
+
+// launch starts the ticket's session and watches it to completion. Called
+// without s.mu; the caller has already taken an in-flight slot.
+func (s *Server) launch(tk *Ticket) {
+	budget := tk.req.BudgetWords
+	if budget == 0 {
+		budget = s.budget
+	}
+	tk.ses = s.r.Submit(hh.SessionOpts{Pin: tk.req.Pin, BudgetWords: budget}, tk.req.Fn)
+	go func() {
+		tk.res, tk.err = tk.ses.Wait()
+		s.complete(tk)
+		close(tk.done)
+	}()
+}
+
+// complete records the finished request, hands its in-flight slot to the
+// oldest queued request (if any), and wakes Drain when the server is idle.
+func (s *Server) complete(tk *Ticket) {
+	now := time.Now()
+	s.mu.Lock()
+	if tk.err != nil {
+		s.stats.Failed++
+	} else {
+		s.stats.Completed++
+	}
+	s.hist.record(now.Sub(tk.submitted))
+	s.stats.WholesaleBytes += tk.ses.WholesaleBytes()
+	s.stats.MergedBytes += tk.ses.MergedBytes()
+	if now.After(s.lastDone) {
+		s.lastDone = now
+	}
+	var next *Ticket
+	if len(s.queue) > 0 {
+		next = s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+	} else {
+		s.inFlight--
+		if s.inFlight == 0 {
+			s.quiesced.Broadcast()
+		}
+	}
+	s.mu.Unlock()
+	if next != nil {
+		s.launch(next)
+	}
+}
+
+// Drain blocks until every accepted request has completed — the wholesale
+// reclamation of all unpinned sessions included, so chunk occupancy is
+// back to its pre-traffic baseline when Drain returns (the leak check the
+// stress tests run). The server stays usable; new requests may be
+// submitted afterwards (including concurrently, which simply extends the
+// drain).
+func (s *Server) Drain() {
+	s.mu.Lock()
+	for s.inFlight > 0 || len(s.queue) > 0 {
+		s.quiesced.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the server's serving statistics.
+func (s *Server) Stats() ServeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	if !s.firstSubmit.IsZero() && s.lastDone.After(s.firstSubmit) {
+		st.Elapsed = s.lastDone.Sub(s.firstSubmit)
+		st.Throughput = float64(st.Completed+st.Failed) / st.Elapsed.Seconds()
+	}
+	st.LatencyMean = s.hist.mean()
+	st.LatencyP50 = s.hist.quantile(0.50)
+	st.LatencyP90 = s.hist.quantile(0.90)
+	st.LatencyP99 = s.hist.quantile(0.99)
+	st.LatencyMax = time.Duration(s.hist.max)
+	return st
+}

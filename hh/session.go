@@ -1,0 +1,81 @@
+package hh
+
+import (
+	"repro/internal/rts"
+)
+
+// Multi-root sessions: each Submit starts an independent root-level unit
+// of work — its own subtree of the heap hierarchy under the process
+// super-root — that runs concurrently with other sessions and with the
+// caller. Inside a session all of the package's fork-join machinery works
+// unchanged; across sessions the subtrees are disjoint, so their
+// collections proceed concurrently (the cross-request GC concurrency
+// reported in Stats().Zones.MaxConcurrentSessions).
+//
+// On completion an unpinned session's subtree is reclaimed WHOLESALE: its
+// chunks are released in bulk, with no per-object work and no merge into
+// the super-root. Every Ptr that was handed out by the session is dead the
+// moment Wait returns — sessions whose pointer results must outlive them
+// set Pin, which merges the subtree into the super-root instead (valid
+// until Close).
+//
+// [Server] in package hh/serve layers admission control, backpressure, and
+// latency accounting over Submit for closed-loop serving.
+
+// SessionOpts configures one submitted session.
+type SessionOpts struct {
+	// Pin preserves the session's object graph past completion by merging
+	// the subtree into the super-root; pointer results then stay valid
+	// until the runtime closes. Unpinned sessions are reclaimed wholesale.
+	Pin bool
+
+	// BudgetWords caps the total words the session may allocate
+	// (0 = unlimited). A session that exceeds it aborts with
+	// ErrBudgetExceeded and is reclaimed wholesale.
+	BudgetWords int64
+}
+
+// ErrBudgetExceeded aborts a session that allocated past its BudgetWords.
+var ErrBudgetExceeded = rts.ErrBudgetExceeded
+
+// PanicError wraps a panic raised inside a session; Wait returns it
+// instead of letting the panic take down the process, so one bad request
+// cannot crash a serving runtime.
+type PanicError = rts.PanicError
+
+// Session is a handle to one in-flight (or completed) unit of work.
+type Session struct {
+	r     *Runtime
+	inner *rts.Session
+}
+
+// Submit starts fn as a new root-level session and returns immediately;
+// Wait blocks for the result. Sessions run concurrently with each other:
+// submit many to serve simultaneous requests. The closure must follow the
+// same capture rules as fork arms (no Ptr/Ref capture; the session
+// allocates everything it touches, or receives data through pinned
+// super-root objects).
+func (r *Runtime) Submit(opts SessionOpts, fn func(t *Task) uint64) *Session {
+	inner := r.rt.Submit(rts.SessionOpts{Pin: opts.Pin, BudgetWords: opts.BudgetWords},
+		func(it *rts.Task) uint64 {
+			return fn(&Task{r: r, inner: it})
+		})
+	return &Session{r: r, inner: inner}
+}
+
+// Wait blocks until the session completes. It returns the session's
+// result, or the error that aborted it: ErrBudgetExceeded, or a
+// *PanicError wrapping the session's own panic value.
+func (s *Session) Wait() (uint64, error) { return s.inner.Wait() }
+
+// ID returns the session's runtime-unique identifier.
+func (s *Session) ID() uint64 { return s.inner.ID() }
+
+// WholesaleBytes reports the chunk bytes released in bulk when the
+// session completed (0 while in flight, for pinned sessions, and in the
+// flat STW/Manticore modes, whose sessions allocate into shared heaps).
+func (s *Session) WholesaleBytes() int64 { return s.inner.WholesaleBytes() }
+
+// MergedBytes reports the chunk bytes a pinned session merged into the
+// super-root on completion.
+func (s *Session) MergedBytes() int64 { return s.inner.MergedBytes() }

@@ -1,0 +1,90 @@
+package hh
+
+import (
+	"errors"
+	"testing"
+)
+
+// churn builds a session-local list and folds it into a checksum.
+func churn(t *Task, n int) uint64 {
+	var sum uint64
+	t.Scoped(func(s *Scope) {
+		head := s.Ref(Nil)
+		for i := 0; i < n; i++ {
+			c := t.Alloc(1, 1, TagCons)
+			t.InitWord(c, 0, uint64(i)*0x9e3779b97f4a7c15)
+			t.InitPtr(c, 0, head.Get())
+			head.Set(c)
+		}
+		for p := head.Get(); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+			sum = sum*31 + t.ReadImmWord(p, 0)
+		}
+	})
+	return sum
+}
+
+func TestSubmitConcurrentSessions(t *testing.T) {
+	for _, mode := range Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := New(WithMode(mode), WithProcs(4), WithGCPolicy(2048, 1.25))
+			defer r.Close()
+			base := ChunksInUse()
+
+			const n = 10
+			sessions := make([]*Session, n)
+			for i := range sessions {
+				size := 400 + 50*i
+				sessions[i] = r.Submit(SessionOpts{}, func(task *Task) uint64 {
+					return churn(task, size)
+				})
+			}
+			for i, s := range sessions {
+				got, err := s.Wait()
+				if err != nil {
+					t.Fatalf("session %d: %v", i, err)
+				}
+				want := Run(r, func(task *Task) uint64 { return churn(task, 400+50*i) })
+				if got != want {
+					t.Errorf("session %d checksum %x, want %x", i, got, want)
+				}
+			}
+			if mode == ParMem || mode == Seq {
+				// Unpinned sessions reclaim wholesale; only the pinned
+				// reference Runs above may have grown the root.
+				var wholesale int64
+				for _, s := range sessions {
+					wholesale += s.WholesaleBytes()
+				}
+				if wholesale == 0 {
+					t.Error("no wholesale reclamation observed")
+				}
+			}
+			_ = base
+		})
+	}
+}
+
+func TestSubmitBudgetAndPanicErrors(t *testing.T) {
+	r := New(WithMode(ParMem), WithProcs(2))
+	defer r.Close()
+
+	_, err := r.Submit(SessionOpts{BudgetWords: 1024}, func(task *Task) uint64 {
+		return churn(task, 1_000_000)
+	}).Wait()
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("budget err = %v", err)
+	}
+
+	_, err = r.Submit(SessionOpts{}, func(task *Task) uint64 {
+		panic("bad request")
+	}).Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != any("bad request") {
+		t.Fatalf("panic err = %v", err)
+	}
+
+	// The runtime still serves after both failures.
+	if got, err := r.Submit(SessionOpts{}, func(task *Task) uint64 { return churn(task, 64) }).Wait(); err != nil || got == 0 {
+		t.Fatalf("post-failure session: res=%d err=%v", got, err)
+	}
+}

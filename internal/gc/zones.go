@@ -51,6 +51,13 @@ type ZoneStats struct {
 	ZoneNanos     int64 // summed wall time spent inside zone collections
 	OverlapNanos  int64 // wall time during which >= 2 zones were in flight
 	MaxConcurrent int64 // peak number of zones in flight at once
+
+	// Session-family counters (serving layer): zones tagged with a nonzero
+	// family belong to one root-level session subtree. Disjoint sessions
+	// collecting at the same time is the cross-request GC concurrency the
+	// hierarchy buys, so the scheduler measures it directly.
+	SessionZones          int64 // completed zone collections tagged with a session
+	MaxConcurrentSessions int64 // peak number of DISTINCT sessions collecting at once
 }
 
 // ZoneScheduler admits disjoint zone collections and accounts for their
@@ -62,6 +69,7 @@ type ZoneScheduler struct {
 	maxZones int                     // admission cap; <= 0 means unlimited
 	active   map[*heap.Heap]struct{} // heaps of in-flight zones
 	nActive  int                     // in-flight zone count
+	families map[uint64]int          // in-flight zone count per session family
 	overlap  time.Time               // start of the current >=2-zone span
 
 	stats ZoneStats
@@ -70,7 +78,11 @@ type ZoneScheduler struct {
 // NewZoneScheduler creates a scheduler admitting at most maxConcurrent
 // zones at once (<= 0 for no cap beyond disjointness).
 func NewZoneScheduler(maxConcurrent int) *ZoneScheduler {
-	s := &ZoneScheduler{maxZones: maxConcurrent, active: make(map[*heap.Heap]struct{})}
+	s := &ZoneScheduler{
+		maxZones: maxConcurrent,
+		active:   make(map[*heap.Heap]struct{}),
+		families: make(map[uint64]int),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -92,7 +104,11 @@ func (s *ZoneScheduler) overlaps(zone []*heap.Heap) bool {
 // promoters; in a disentangled hierarchy two live tasks never build
 // overlapping zones, so waiting here indicates either the admission cap or
 // a (tolerated, serialized) zone-construction bug.
-func (s *ZoneScheduler) Admit(zone []*heap.Heap) {
+//
+// family tags the zone with the session subtree it belongs to (0 = not a
+// session zone); the scheduler tracks how many distinct sessions collect
+// simultaneously.
+func (s *ZoneScheduler) Admit(zone []*heap.Heap, family uint64) {
 	s.mu.Lock()
 	for s.overlaps(zone) || (s.maxZones > 0 && s.nActive >= s.maxZones) {
 		s.cond.Wait()
@@ -104,14 +120,21 @@ func (s *ZoneScheduler) Admit(zone []*heap.Heap) {
 	if int64(s.nActive) > s.stats.MaxConcurrent {
 		s.stats.MaxConcurrent = int64(s.nActive)
 	}
+	if family != 0 {
+		s.families[family]++
+		if n := int64(len(s.families)); n > s.stats.MaxConcurrentSessions {
+			s.stats.MaxConcurrentSessions = n
+		}
+	}
 	if s.nActive == 2 {
 		s.overlap = time.Now()
 	}
 	s.mu.Unlock()
 }
 
-// Release takes the zone out of flight and wakes waiting admissions.
-func (s *ZoneScheduler) Release(zone []*heap.Heap) {
+// Release takes the zone out of flight and wakes waiting admissions. The
+// family must match the zone's Admit.
+func (s *ZoneScheduler) Release(zone []*heap.Heap, family uint64) {
 	s.mu.Lock()
 	for _, h := range zone {
 		if _, busy := s.active[h]; !busy {
@@ -119,6 +142,11 @@ func (s *ZoneScheduler) Release(zone []*heap.Heap) {
 			panic(fmt.Sprintf("gc: releasing heap %v that is not in flight", h))
 		}
 		delete(s.active, h)
+	}
+	if family != 0 {
+		if s.families[family]--; s.families[family] <= 0 {
+			delete(s.families, family)
+		}
 	}
 	if s.nActive == 2 {
 		s.stats.OverlapNanos += time.Since(s.overlap).Nanoseconds()
@@ -139,17 +167,26 @@ func (s *ZoneScheduler) Release(zone []*heap.Heap) {
 // execution the locks are uncontended, and in an incorrect one (an
 // entangled pointer into the zone) they serialize instead of corrupting.
 func (s *ZoneScheduler) CollectZone(zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
+	return s.CollectSessionZone(0, zone, roots, kind)
+}
+
+// CollectSessionZone is CollectZone for a zone belonging to the root-level
+// session subtree identified by family (0 for zones outside any session).
+// Zones of distinct sessions are always disjoint, so they admit and run
+// concurrently; the scheduler counts how many distinct sessions it actually
+// observed collecting at once (ZoneStats.MaxConcurrentSessions).
+func (s *ZoneScheduler) CollectSessionZone(family uint64, zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
 	z := make([]*heap.Heap, len(zone))
 	copy(z, zone)
 	heap.SortZone(z)
 
-	s.Admit(z)
+	s.Admit(z, family)
 	start := time.Now()
 	heap.LockZone(z)
 	st := Collect(z, roots)
 	heap.UnlockZone(z)
 	dur := time.Since(start).Nanoseconds()
-	s.Release(z)
+	s.Release(z, family)
 
 	s.mu.Lock()
 	s.stats.Zones++
@@ -157,6 +194,9 @@ func (s *ZoneScheduler) CollectZone(zone []*heap.Heap, roots []*mem.ObjPtr, kind
 		s.stats.JoinZones++
 	} else {
 		s.stats.LeafZones++
+	}
+	if family != 0 {
+		s.stats.SessionZones++
 	}
 	s.stats.WordsCopied += st.WordsCopied
 	s.stats.ZoneNanos += dur

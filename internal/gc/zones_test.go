@@ -13,7 +13,7 @@ import (
 func admitted(s *ZoneScheduler, zone []*heap.Heap) chan struct{} {
 	ch := make(chan struct{})
 	go func() {
-		s.Admit(zone)
+		s.Admit(zone, 0)
 		close(ch)
 	}()
 	return ch
@@ -33,14 +33,14 @@ func TestZoneSchedulerDisjointZonesOverlap(t *testing.T) {
 	a, b := heap.NewChild(root), heap.NewChild(root)
 	s := NewZoneScheduler(0)
 
-	s.Admit([]*heap.Heap{a})
+	s.Admit([]*heap.Heap{a}, 0)
 	// A disjoint zone must be admitted while the first is still in flight.
 	waitAdmitted(t, admitted(s, []*heap.Heap{b}), "disjoint zone")
 	if got := s.InFlight(); got != 2 {
 		t.Fatalf("in flight = %d, want 2", got)
 	}
-	s.Release([]*heap.Heap{a})
-	s.Release([]*heap.Heap{b})
+	s.Release([]*heap.Heap{a}, 0)
+	s.Release([]*heap.Heap{b}, 0)
 
 	st := s.Snapshot()
 	if st.MaxConcurrent != 2 {
@@ -57,15 +57,15 @@ func TestZoneSchedulerSerializesSharedHeap(t *testing.T) {
 	child := heap.NewChild(parent)
 	s := NewZoneScheduler(0)
 
-	s.Admit([]*heap.Heap{parent, child})
+	s.Admit([]*heap.Heap{parent, child}, 0)
 	// A zone sharing `child` must wait for the first to be released. No
 	// interleaving can drive MaxConcurrent to 2, so the property is
 	// deterministic even though the blocking itself is timing-dependent.
 	ch := admitted(s, []*heap.Heap{child})
 	time.Sleep(time.Millisecond)
-	s.Release([]*heap.Heap{parent, child})
+	s.Release([]*heap.Heap{parent, child}, 0)
 	waitAdmitted(t, ch, "overlapping zone after release")
-	s.Release([]*heap.Heap{child})
+	s.Release([]*heap.Heap{child}, 0)
 
 	if st := s.Snapshot(); st.MaxConcurrent != 1 {
 		t.Fatalf("overlapping zones ran concurrently: MaxConcurrent = %d", st.MaxConcurrent)
@@ -77,12 +77,12 @@ func TestZoneSchedulerRespectsCap(t *testing.T) {
 	a, b := heap.NewChild(root), heap.NewChild(root)
 	s := NewZoneScheduler(1)
 
-	s.Admit([]*heap.Heap{a})
+	s.Admit([]*heap.Heap{a}, 0)
 	ch := admitted(s, []*heap.Heap{b}) // disjoint, but over the cap
 	time.Sleep(time.Millisecond)
-	s.Release([]*heap.Heap{a})
+	s.Release([]*heap.Heap{a}, 0)
 	waitAdmitted(t, ch, "capped zone after release")
-	s.Release([]*heap.Heap{b})
+	s.Release([]*heap.Heap{b}, 0)
 
 	if st := s.Snapshot(); st.MaxConcurrent != 1 {
 		t.Fatalf("cap of 1 violated: MaxConcurrent = %d", st.MaxConcurrent)
@@ -135,5 +135,50 @@ func TestCollectZoneTakesWriteLocks(t *testing.T) {
 
 	if after := h.LockStats().WriteAcquires; after != before+1 {
 		t.Fatalf("write acquires %d -> %d, want one zone write lock", before, after)
+	}
+}
+
+func TestZoneSchedulerTracksSessionFamilies(t *testing.T) {
+	root := heap.NewRoot()
+	a, b, c := heap.NewChild(root), heap.NewChild(root), heap.NewChild(root)
+	s := NewZoneScheduler(0)
+
+	// Two zones of DISTINCT sessions in flight: distinct-session peak is 2.
+	s.Admit([]*heap.Heap{a}, 7)
+	s.Admit([]*heap.Heap{b}, 9)
+	// A second zone of an already-collecting session must not raise it.
+	s.Admit([]*heap.Heap{c}, 7)
+	s.Release([]*heap.Heap{c}, 7)
+	s.Release([]*heap.Heap{b}, 9)
+	s.Release([]*heap.Heap{a}, 7)
+
+	// An untagged zone never counts as a session.
+	s.Admit([]*heap.Heap{a}, 0)
+	s.Release([]*heap.Heap{a}, 0)
+
+	st := s.Snapshot()
+	if st.MaxConcurrentSessions != 2 {
+		t.Fatalf("MaxConcurrentSessions = %d, want 2", st.MaxConcurrentSessions)
+	}
+	if st.MaxConcurrent != 3 {
+		t.Fatalf("MaxConcurrent = %d, want 3", st.MaxConcurrent)
+	}
+}
+
+func TestCollectSessionZoneCounts(t *testing.T) {
+	h := heap.NewRoot()
+	defer heap.FreeChunkList(h.TakeChunks())
+	live := buildList(h, 8)
+
+	s := NewZoneScheduler(0)
+	s.CollectSessionZone(42, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+	s.CollectZone([]*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+
+	zs := s.Snapshot()
+	if zs.SessionZones != 1 {
+		t.Fatalf("SessionZones = %d, want 1", zs.SessionZones)
+	}
+	if zs.Zones != 2 {
+		t.Fatalf("Zones = %d, want 2", zs.Zones)
 	}
 }

@@ -2,6 +2,7 @@ package heap
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/mem"
@@ -23,6 +24,12 @@ type Heap struct {
 	depth  int32
 	parent *Heap                // hierarchy parent at creation; resolve when walking
 	merged atomic.Pointer[Heap] // union-find link set by Join
+
+	// Child registry for super-root heaps (superroot.go): session subtrees
+	// attach here so shutdown can find abandoned ones. Nil for every heap
+	// that never had a child attached.
+	childMu  sync.Mutex
+	children map[*Heap]struct{}
 
 	head      *mem.Chunk // oldest chunk
 	tail      *mem.Chunk // newest chunk; allocation target

@@ -1,0 +1,85 @@
+package heap
+
+// Super-root support: the serving layer runs many simultaneous root-level
+// subtrees ("sessions") under one process super-root heap. The super-root
+// tracks its attached children so the runtime can enumerate abandoned
+// subtrees at shutdown, and a completed subtree can be reclaimed WHOLESALE:
+// its chunks are released in bulk without ever being merged into the root,
+// the region-style payoff of the hierarchy — reclamation cost proportional
+// to the number of chunks, not to the live data.
+//
+// Lock ordering note: AttachChild / DetachChild touch only the parent's
+// child registry (its own mutex, leaf-level, never held while taking a heap
+// lock), so they compose with the deepest-first heap lock order without
+// extending it. ReleaseWholesale takes no heap locks at all — its contract
+// is that the subtree's tasks have completed and nothing else can reach the
+// subtree (disentanglement keeps other sessions' root paths disjoint).
+
+// AttachChild creates a heap one level below h and records it in h's child
+// registry. The serving layer attaches one child per session under the
+// process super-root; DetachChild (or ReleaseWholesale via the runtime)
+// must be called when the session completes.
+func (h *Heap) AttachChild() *Heap {
+	c := NewChild(h)
+	h.childMu.Lock()
+	if h.children == nil {
+		h.children = make(map[*Heap]struct{})
+	}
+	h.children[c] = struct{}{}
+	h.childMu.Unlock()
+	return c
+}
+
+// DetachChild removes c from h's child registry. Detaching a heap that was
+// never attached (or was already detached) is a no-op.
+func (h *Heap) DetachChild(c *Heap) {
+	h.childMu.Lock()
+	delete(h.children, c)
+	h.childMu.Unlock()
+}
+
+// AttachedChildren snapshots the heaps currently attached to h. The
+// runtime's Close walks it to release subtrees of sessions that were never
+// drained.
+func (h *Heap) AttachedChildren() []*Heap {
+	h.childMu.Lock()
+	defer h.childMu.Unlock()
+	out := make([]*Heap, 0, len(h.children))
+	for c := range h.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+// AttachedCount reports how many children are currently attached to h.
+func (h *Heap) AttachedCount() int {
+	h.childMu.Lock()
+	defer h.childMu.Unlock()
+	return len(h.children)
+}
+
+// ReleaseWholesale frees every chunk of child in bulk — no merge, no copy,
+// no per-object work — and aliases child to parent so that any stale
+// descriptor reference resolves somewhere live. It returns the bytes of
+// chunk capacity released.
+//
+// The caller must guarantee that every task of child's subtree has
+// completed and that no live pointer (from parent or anywhere else) targets
+// an object in child: this is the serving layer's unpinned-session
+// contract. Heaps that were already merged away resolve to their live
+// target and release nothing here.
+func ReleaseWholesale(parent, child *Heap) int64 {
+	parent = parent.Resolve()
+	child = child.Resolve()
+	if child == parent {
+		return 0 // already merged into the survivor; nothing separate to free
+	}
+	if child.isTo || parent.isTo {
+		panic("heap: wholesale release of a to-space")
+	}
+	bytes := child.CapWords() * 8
+	FreeChunkList(child.TakeChunks())
+	child.AllocSinceGC, child.LiveWords = 0, 0
+	child.merged.Store(parent)
+	return bytes
+}

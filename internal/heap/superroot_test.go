@@ -1,0 +1,82 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestAttachDetachChildren(t *testing.T) {
+	root := NewRoot()
+	a := root.AttachChild()
+	b := root.AttachChild()
+	if a.Parent() != root || b.Parent() != root {
+		t.Fatalf("attached children must parent at the super-root")
+	}
+	if a.Depth() != 1 || b.Depth() != 1 {
+		t.Fatalf("attached children at depth %d/%d, want 1", a.Depth(), b.Depth())
+	}
+	if n := root.AttachedCount(); n != 2 {
+		t.Fatalf("AttachedCount = %d, want 2", n)
+	}
+	root.DetachChild(a)
+	if n := root.AttachedCount(); n != 1 {
+		t.Fatalf("AttachedCount after detach = %d, want 1", n)
+	}
+	root.DetachChild(a) // double detach is a no-op
+	kids := root.AttachedChildren()
+	if len(kids) != 1 || kids[0] != b {
+		t.Fatalf("AttachedChildren = %v, want [%v]", kids, b)
+	}
+	root.DetachChild(b)
+	FreeChunkList(a.TakeChunks())
+	FreeChunkList(b.TakeChunks())
+}
+
+func TestReleaseWholesaleFreesChunksWithoutMerging(t *testing.T) {
+	base := mem.ChunksInUse()
+	root := NewRoot()
+	child := root.AttachChild()
+	for i := 0; i < 64; i++ {
+		child.FreshObj(2, 6, mem.TagTuple)
+	}
+	if child.NumChunks() == 0 {
+		t.Fatal("expected the child to own chunks")
+	}
+	rootChunksBefore := root.NumChunks()
+	wantBytes := child.CapWords() * 8
+
+	root.DetachChild(child)
+	got := ReleaseWholesale(root, child)
+	if got != wantBytes {
+		t.Fatalf("ReleaseWholesale returned %d bytes, want %d", got, wantBytes)
+	}
+	if root.NumChunks() != rootChunksBefore {
+		t.Fatalf("wholesale release must not splice chunks into the root (%d -> %d)",
+			rootChunksBefore, root.NumChunks())
+	}
+	if child.IsAlive() {
+		t.Fatal("released child should alias its parent")
+	}
+	if child.Resolve() != root {
+		t.Fatal("released child should resolve to the super-root")
+	}
+	if mem.ChunksInUse() != base {
+		t.Fatalf("chunks leaked: %d in use, want %d", mem.ChunksInUse(), base)
+	}
+	// Releasing again (now an alias of root) frees nothing.
+	if again := ReleaseWholesale(root, child); again != 0 {
+		t.Fatalf("second release freed %d bytes, want 0", again)
+	}
+}
+
+func TestReleaseWholesaleAfterJoinIsNoop(t *testing.T) {
+	root := NewRoot()
+	child := NewChild(root)
+	child.FreshObj(0, 4, mem.TagTuple)
+	Join(root, child)
+	if n := ReleaseWholesale(root, child); n != 0 {
+		t.Fatalf("release after join freed %d bytes, want 0 (chunks belong to the root now)", n)
+	}
+	FreeChunkList(root.TakeChunks())
+}

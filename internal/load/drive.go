@@ -1,0 +1,71 @@
+package load
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hh"
+	"repro/hh/serve"
+)
+
+// DriveResult summarizes one closed loop.
+type DriveResult struct {
+	// Checksum is the order-independent sum of every successful request's
+	// checksum; identical across runtime modes for the same request stream.
+	Checksum uint64
+	// Failures counts requests whose session aborted.
+	Failures int64
+	// Elapsed is the loop's wall time, submission to drain.
+	Elapsed time.Duration
+}
+
+// Drive runs a closed loop: clients goroutines pull request indices from a
+// shared dispenser, submit them to srv (backing off while saturated), and
+// wait for each result before taking the next. It drains the server before
+// returning. onError, if non-nil, is called for each failed request.
+func Drive(srv *serve.Server, mix Mix, clients, requests, size int,
+	onError func(idx int64, scenario string, err error)) DriveResult {
+
+	var next atomic.Int64
+	var sum atomic.Uint64
+	var failures atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := next.Add(1) - 1
+				if idx >= int64(requests) {
+					return
+				}
+				sc := mix.Pick(uint64(idx))
+				var tk *serve.Ticket
+				for {
+					var err error
+					tk, err = srv.Submit(func(t *hh.Task) uint64 {
+						return sc.Run(t, uint64(idx)+1, size)
+					})
+					if err == nil {
+						break
+					}
+					time.Sleep(200 * time.Microsecond) // saturated: back off, retry
+				}
+				res, err := tk.Wait()
+				if err != nil {
+					failures.Add(1)
+					if onError != nil {
+						onError(idx, sc.Name, err)
+					}
+					continue
+				}
+				sum.Add(res)
+			}
+		}()
+	}
+	wg.Wait()
+	srv.Drain()
+	return DriveResult{Checksum: sum.Load(), Failures: failures.Load(), Elapsed: time.Since(start)}
+}

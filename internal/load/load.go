@@ -1,0 +1,190 @@
+// Package load defines the request scenarios driven by the closed-loop
+// load generator (cmd/hhload) and the serving benchmark table (internal/
+// report, hhbench -table serve). Each scenario is one self-contained
+// request: given a seed and a size it builds, mutates, and folds
+// session-local data into a deterministic checksum, so the same request
+// stream can be replayed against every runtime mode and cross-validated.
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/hh"
+)
+
+// Scenario is one request archetype.
+type Scenario struct {
+	Name string
+	// Run executes one request on the session's root task. The checksum is
+	// a pure function of (seed, size) in every runtime mode.
+	Run func(t *hh.Task, seed uint64, size int) uint64
+}
+
+const kvSlots = 16
+
+// kvChurn models a key-value store's write-heavy churn: size keys hash
+// into a session-shared bucket array (a distant, promoting write per
+// insert in ParMem), then every bucket is scanned back. The archetypal
+// mutable-state request.
+func kvChurn(t *hh.Task, seed uint64, size int) uint64 {
+	var sum uint64
+	t.Scoped(func(sc *hh.Scope) {
+		buckets := sc.Ref(t.AllocMut(kvSlots, 0, hh.TagArrPtr))
+		hh.ParDo(t, hh.Bind(buckets), 0, kvSlots, 1, func(t *hh.Task, e *hh.Env, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				n := size / kvSlots
+				for i := 0; i < n; i++ {
+					t.Scoped(func(ws *hh.Scope) {
+						key := hh.Hash64(seed + uint64(b*n+i))
+						head := ws.Ref(t.ReadMutPtr(e.Ptr(0), b))
+						cell := t.Alloc(1, 2, hh.TagCons)
+						t.InitWord(cell, 0, key)
+						t.InitWord(cell, 1, key^seed)
+						t.InitPtr(cell, 0, head.Get())
+						t.WritePtr(e.Ptr(0), b, cell)
+					})
+				}
+			}
+		})
+		for b := 0; b < kvSlots; b++ {
+			for p := t.ReadMutPtr(buckets.Get(), b); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+				sum = sum*31 + t.ReadImmWord(p, 0) + t.ReadImmWord(p, 1)
+			}
+		}
+	})
+	return sum
+}
+
+// bfsQuery models a graph query: a parallel visit over an implicit
+// frontier in which every visit allocates a record task-locally and links
+// it into a shared per-bucket visit list (the paper's usp-tree pattern —
+// the pessimal promotion case).
+func bfsQuery(t *hh.Task, seed uint64, size int) uint64 {
+	const nb = 8
+	var sum uint64
+	t.Scoped(func(sc *hh.Scope) {
+		lists := sc.Ref(t.AllocMut(nb, 0, hh.TagArrPtr))
+		hh.ParDo(t, hh.Bind(lists), 0, nb, 1, func(t *hh.Task, e *hh.Env, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				nv := size / nb
+				for v := 0; v < nv; v++ {
+					t.Scoped(func(s *hh.Scope) {
+						head := s.Ref(t.ReadMutPtr(e.Ptr(0), b))
+						rec := t.Alloc(1, 1, hh.TagCons)
+						t.InitWord(rec, 0, hh.Hash64(seed^uint64(b)<<32^uint64(v)))
+						t.InitPtr(rec, 0, head.Get())
+						t.WritePtr(e.Ptr(0), b, rec)
+					})
+				}
+			}
+		})
+		for b := 0; b < nb; b++ {
+			for p := t.ReadMutPtr(lists.Get(), b); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+				sum = sum*1099511628211 + t.ReadImmWord(p, 0)
+			}
+		}
+	})
+	return sum
+}
+
+// histogram models an analytics request: tabulate size hashed samples in
+// parallel (a rope of leaves across the session's subtree), then count
+// them into a shared 64-bucket histogram with CAS increments.
+func histogram(t *hh.Task, seed uint64, size int) uint64 {
+	var sum uint64
+	t.Scoped(func(sc *hh.Scope) {
+		grain := size / 8
+		if grain < 64 {
+			grain = 64
+		}
+		samples := sc.Ref(hh.Tabulate(t, size, grain, func(i int) uint64 {
+			return hh.Hash64(seed + uint64(i))
+		}))
+		hist := sc.Ref(t.AllocMut(0, 64, hh.TagArrI64))
+		hh.ParDo(t, hh.Bind(samples, hist), 0, size, grain,
+			func(t *hh.Task, e *hh.Env, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := hh.At(t, e.Ptr(0), i)
+					b := int(v % 64)
+					for {
+						old := t.ReadMutWord(e.Ptr(1), b)
+						if t.CASWord(e.Ptr(1), b, old, old+v) {
+							break
+						}
+					}
+				}
+			})
+		for b := 0; b < 64; b++ {
+			sum = sum*31 + t.ReadMutWord(hist.Get(), b)
+		}
+	})
+	return sum
+}
+
+// All returns every scenario, in canonical order.
+func All() []Scenario {
+	return []Scenario{
+		{Name: "kv", Run: kvChurn},
+		{Name: "bfs", Run: bfsQuery},
+		{Name: "hist", Run: histogram},
+	}
+}
+
+// ByName resolves one scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("load: unknown scenario %q (want kv|bfs|hist)", name)
+}
+
+// Mix is a weighted scenario mix; requests are assigned deterministically
+// by request index, so every runtime mode replays the identical stream.
+type Mix struct {
+	entries []Scenario
+}
+
+// ParseMix parses "kv=4,bfs=1,hist=1" (or "kv,bfs" with weight 1 each)
+// into a mix.
+func ParseMix(spec string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return Mix{}, fmt.Errorf("load: bad weight in %q", part)
+			}
+			weight = w
+		}
+		s, err := ByName(name)
+		if err != nil {
+			return Mix{}, err
+		}
+		for i := 0; i < weight; i++ {
+			m.entries = append(m.entries, s)
+		}
+	}
+	if len(m.entries) == 0 {
+		return Mix{}, fmt.Errorf("load: empty mix %q", spec)
+	}
+	return m, nil
+}
+
+// Pick returns the scenario for request i. Striding by a hash keeps the
+// scenarios interleaved rather than phased while staying deterministic.
+func (m Mix) Pick(i uint64) Scenario {
+	return m.entries[hh.Hash64(i)%uint64(len(m.entries))]
+}
+
+// Len reports the mix's (weight-expanded) entry count.
+func (m Mix) Len() int { return len(m.entries) }

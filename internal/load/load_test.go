@@ -1,0 +1,58 @@
+package load
+
+import (
+	"testing"
+
+	"repro/hh"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("kv=2,bfs=1,hist=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("mix len %d, want 4 weight-expanded entries", m.Len())
+	}
+	if m.Pick(3).Name != m.Pick(3).Name {
+		t.Fatal("Pick must be deterministic")
+	}
+	if _, err := ParseMix("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := ParseMix("kv=0"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+// TestScenariosDeterministicAcrossModes replays the same requests in every
+// runtime mode and checks the checksums agree — the property hhload's
+// cross-mode validation relies on.
+func TestScenariosDeterministicAcrossModes(t *testing.T) {
+	type key struct {
+		name string
+		seed uint64
+	}
+	want := map[key]uint64{}
+	for _, mode := range hh.Modes {
+		r := hh.New(hh.WithMode(mode), hh.WithProcs(2), hh.WithGCPolicy(2048, 1.25))
+		for _, sc := range All() {
+			for seed := uint64(1); seed <= 2; seed++ {
+				s := r.Submit(hh.SessionOpts{}, func(task *hh.Task) uint64 {
+					return sc.Run(task, seed, 300)
+				})
+				got, err := s.Wait()
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", mode, sc.Name, seed, err)
+				}
+				k := key{sc.Name, seed}
+				if w, seen := want[k]; !seen {
+					want[k] = got
+				} else if got != w {
+					t.Errorf("%s/%s seed %d: checksum %x, want %x", mode, sc.Name, seed, got, w)
+				}
+			}
+		}
+		r.Close()
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/bench"
@@ -18,18 +20,29 @@ import (
 
 // Options configures a report run.
 type Options struct {
-	Procs int      // processor count for the T_P columns (>=1)
-	Reps  int      // runs per measurement; the median is reported
-	Paper bool     // use the paper's original problem sizes
-	Names []string // subset of benchmarks; empty = all
-	JSON  bool     // emit one JSON object per table instead of aligned text
+	Procs  int      // processor count for the T_P columns (>=1)
+	Reps   int      // runs per measurement; the median is reported
+	Paper  bool     // use the paper's original problem sizes
+	Names  []string // subset of benchmarks; empty = all
+	JSON   bool     // emit one JSON object per table instead of aligned text
+	OutDir string   // also write each table as OutDir/BENCH_<table>.json
+	Commit string   // commit identifier stamped into emitted tables
 }
+
+// TableSchema identifies the JSON layout emitted for a Table; bump it when
+// the field set or cell conventions change so perf-trajectory tooling can
+// refuse tables it does not understand.
+const TableSchema = "hhbench/v1"
 
 // Table is the machine-readable form of one emitted table (the -json
 // output of cmd/hhbench). Rows carry the same formatted cells as the text
 // rendering, keyed positionally by Header, so perf-trajectory tooling can
-// diff tables across commits without scraping aligned text.
+// diff tables across commits without scraping aligned text. Schema and
+// Commit make a saved table self-describing: which layout it uses and
+// which commit produced it.
 type Table struct {
+	Schema   string     `json:"schema"`
+	Commit   string     `json:"commit,omitempty"`
 	Table    string     `json:"table"`
 	Title    string     `json:"title"`
 	Procs    int        `json:"procs,omitempty"`
@@ -39,8 +52,21 @@ type Table struct {
 }
 
 // emit renders a table as JSON (one object per line) or as the titled
-// aligned-text layout, per Options.JSON.
+// aligned-text layout, per Options.JSON; with OutDir set it additionally
+// writes the table to OutDir/BENCH_<table>.json, one file per table.
 func (o Options) emit(w io.Writer, t Table) error {
+	t.Schema = TableSchema
+	t.Commit = o.Commit
+	if o.OutDir != "" {
+		data, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(o.OutDir, "BENCH_"+t.Table+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if o.JSON {
 		return json.NewEncoder(w).Encode(t)
 	}

@@ -2,6 +2,8 @@ package report
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -154,5 +156,71 @@ func TestFig10SmokeValidates(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), rts.ParMem.String()) {
 		t.Fatal("parmem column missing")
+	}
+}
+
+func TestServeTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark")
+	}
+	var sb strings.Builder
+	if err := ServeTable(&sb, Options{Procs: 2, Reps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Serving:", "mlton-parmem", "wholesale(MB)", "cc-sess"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VALIDATION FAILURE") {
+		t.Fatalf("serve table failed validation:\n%s", out)
+	}
+}
+
+func TestEmitStampsSchemaAndWritesOutDir(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{JSON: true, OutDir: dir, Commit: "deadbeef"}
+	var sb strings.Builder
+	tab := Table{Table: "example", Title: "Example", Header: []string{"h"}, Rows: [][]string{{"v"}}}
+	if err := o.emit(&sb, tab); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(data []byte, where string) {
+		var got Table
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		if got.Schema != TableSchema {
+			t.Fatalf("%s schema = %q, want %q", where, got.Schema, TableSchema)
+		}
+		if got.Commit != "deadbeef" {
+			t.Fatalf("%s commit = %q", where, got.Commit)
+		}
+		if got.Table != "example" || len(got.Rows) != 1 {
+			t.Fatalf("%s round-trip mangled: %+v", where, got)
+		}
+	}
+	check([]byte(sb.String()), "stdout")
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_example.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(data, "out file")
+}
+
+func TestEmitTextModeStillWritesOutDir(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{OutDir: dir}
+	var sb strings.Builder
+	if err := o.emit(&sb, Table{Table: "t2", Title: "T2", Header: []string{"h"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "T2") {
+		t.Fatal("text rendering suppressed by OutDir")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_t2.json")); err != nil {
+		t.Fatal(err)
 	}
 }

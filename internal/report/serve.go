@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+)
+
+// ServeTable benchmarks the serving layer: a closed loop of mixed requests
+// (kv-churn, bfs query, histogram) drives an hh/serve.Server in every
+// runtime mode, each request an independent session reclaimed wholesale at
+// completion. The table reports throughput, latency quantiles, peak
+// concurrency, wholesale-versus-merged reclamation, and the cross-request
+// GC concurrency (peak distinct sessions collecting at once) — the serving
+// numbers the paper's single-program tables cannot show.
+func ServeTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	mix, err := load.ParseMix("kv=2,bfs=1,hist=1")
+	if err != nil {
+		return err
+	}
+	sessions := 2 * o.Procs
+	if sessions < 8 {
+		sessions = 8
+	}
+	requests, size := 24*sessions, 1200
+	if o.Paper {
+		requests *= 4
+	}
+	if runtime.GOMAXPROCS(0) < o.Procs {
+		runtime.GOMAXPROCS(o.Procs) // let disjoint session collections overlap in wall time
+	}
+
+	header := []string{"system", "req", "elapsed(s)", "req/s", "p50(ms)", "p99(ms)",
+		"peak-sess", "wholesale(MB)", "merged(MB)", "sess-zones", "cc-sess"}
+	var rows [][]string
+	var failures []string
+	var refSum uint64
+	var refMode string
+	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
+		r := hh.New(hh.WithMode(mode), hh.WithProcs(o.Procs), hh.WithGCPolicy(2048, 1.25))
+		srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
+		res := load.Drive(srv, mix, sessions, requests, size, nil)
+		st := srv.Stats()
+		rt := r.Stats()
+		r.Close()
+
+		if res.Failures > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, mode))
+		}
+		if refMode == "" {
+			refSum, refMode = res.Checksum, mode.String()
+		} else if res.Checksum != refSum {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: request stream on %s: checksum %x, want %x (%s)",
+				mode, res.Checksum, refSum, refMode))
+		}
+		rows = append(rows, []string{
+			mode.String(),
+			fmt.Sprintf("%d", st.Completed),
+			fmt.Sprintf("%.3f", res.Elapsed.Seconds()),
+			fmt.Sprintf("%.0f", st.Throughput),
+			fmt.Sprintf("%.2f", float64(st.LatencyP50.Microseconds())/1e3),
+			fmt.Sprintf("%.2f", float64(st.LatencyP99.Microseconds())/1e3),
+			fmt.Sprintf("%d", st.PeakInFlight),
+			fmt.Sprintf("%.1f", float64(st.WholesaleBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(st.MergedBytes)/(1<<20)),
+			fmt.Sprintf("%d", rt.Zones.SessionZones),
+			fmt.Sprintf("%d", rt.Zones.MaxConcurrentSessions),
+		})
+	}
+	tab := Table{Table: "serve", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Serving: closed-loop session throughput at P=%d (%d in-flight, kv=2,bfs=1,hist=1 mix)",
+			o.Procs, sessions)}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(failures) == 0 {
+		fmt.Fprintln(w, "validation: all systems agree on the request-stream checksum")
+	}
+	return nil
+}

@@ -36,4 +36,12 @@
 // safe because pending frames always live at depths strictly above any
 // zone this task can collect, and the collector never writes a root slot
 // whose pointer did not move.
+//
+// Execution is organized as SESSIONS (session.go): every unit of work —
+// Run included — is a root-level subtree under the process super-root
+// heap, concurrent with other sessions, tagged through the zone scheduler
+// so cross-session collection concurrency is measured, and reclaimed
+// wholesale (bulk chunk release, no merge) on completion unless pinned.
+// Sessions are also the failure domain: budget overruns and panics abort
+// one session, drain its frames, and surface as errors from Wait.
 package rts

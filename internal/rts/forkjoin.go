@@ -25,12 +25,56 @@ type ScalarThunk func(t *Task, env mem.ObjPtr) uint64
 // frame carries a forkjoin's stealable half and its join state.
 type frame struct {
 	sf       *sched.Frame
+	ses      *Session // session the fork belongs to
 	env      mem.ObjPtr
 	result   mem.ObjPtr
 	scalar   uint64
 	childSH  *heap.Superheap // ParMem: the thief's superheap, adopted at join
 	forkHeap *heap.Heap      // ParMem: heap at the fork point
 	ownerWS  *workerState    // Manticore: victim's worker state
+}
+
+// publish makes fr stealable: it charges the frame to the session's
+// outstanding count (reclamation must not run under a live thief), pushes
+// it on the worker deque, and records it on the task's pending list for
+// the abort-time drain.
+func (t *Task) publish(fr *frame) {
+	fr.ses = t.ses
+	if t.ses != nil {
+		t.ses.outstanding.Add(1)
+	}
+	t.w.Push(fr.sf)
+	t.pending = append(t.pending, fr.sf)
+}
+
+// joined removes the newest pending frame at its join point. inline
+// reports whether the parent consumed the frame itself (a stolen frame's
+// outstanding count is consumed by its thief instead).
+func (t *Task) joined(fr *frame, inline bool) {
+	if t.pending[len(t.pending)-1] != fr.sf {
+		panic("rts: pending-frame stack out of sync at join")
+	}
+	t.pending = t.pending[:len(t.pending)-1]
+	if inline && t.ses != nil {
+		t.ses.frameDone()
+	}
+}
+
+// pushHeap pushes a fresh superheap level for a fork and records it for
+// session reclamation; popHeap drops the record once the level has been
+// joined away on the normal path, keeping the registry O(live heaps)
+// instead of O(lifetime forks) — only a panic unwind (which skips the
+// PopJoin) leaves entries behind for the session's reclaimer.
+func (t *Task) pushHeap() {
+	h := t.sh.Push()
+	t.madeHeaps = append(t.madeHeaps, h)
+}
+
+func (t *Task) popHeap() {
+	// The just-popped level is necessarily this task's newest recorded
+	// heap: nested forks push and pop in LIFO order on the same task, and
+	// stolen arms record their heaps on the thief's task instead.
+	t.madeHeaps = t.madeHeaps[:len(t.madeHeaps)-1]
 }
 
 // ForkJoin runs f and g in parallel (Figure 5) and returns both results.
@@ -65,21 +109,23 @@ func (t *Task) ForkJoin(env mem.ObjPtr, f, g Thunk) (mem.ObjPtr, mem.ObjPtr) {
 	}
 	if r.cfg.Mode == ParMem {
 		fr.forkHeap = t.sh.Current()
-		t.sh.Push()
+		t.pushHeap()
 	}
 	fr.sf = sched.NewFrame(func(thief *sched.Worker) {
 		r.runStolen(fr, g, thief)
 	})
-	t.w.Push(fr.sf)
+	t.publish(fr)
 	rf := f(t, fr.env)
 	t.PushRoot(&rf)
 	var rg mem.ObjPtr
 	if popped := t.w.PopBottom(); popped == fr.sf {
+		t.joined(fr, true)
 		rg = g(t, fr.env)
 	} else {
 		if popped != nil {
 			panic("rts: foreign frame popped at join")
 		}
+		t.joined(fr, false)
 		t.w.WaitHelp(fr.sf)
 		rg = fr.result
 		if r.cfg.Mode == ParMem {
@@ -88,6 +134,7 @@ func (t *Task) ForkJoin(env mem.ObjPtr, f, g Thunk) (mem.ObjPtr, mem.ObjPtr) {
 	}
 	if r.cfg.Mode == ParMem {
 		t.sh.PopJoin()
+		t.popHeap()
 		// Internal-node collection: the merged ancestor has no live
 		// descendants left, so it is a valid zone. rf is already rooted;
 		// rg is not yet.
@@ -114,20 +161,22 @@ func (t *Task) ForkJoinScalar(env mem.ObjPtr, f, g ScalarThunk) (uint64, uint64)
 	}
 	if r.cfg.Mode == ParMem {
 		fr.forkHeap = t.sh.Current()
-		t.sh.Push()
+		t.pushHeap()
 	}
 	fr.sf = sched.NewFrame(func(thief *sched.Worker) {
 		r.runStolenScalar(fr, g, thief)
 	})
-	t.w.Push(fr.sf)
+	t.publish(fr)
 	rf := f(t, fr.env)
 	var rg uint64
 	if popped := t.w.PopBottom(); popped == fr.sf {
+		t.joined(fr, true)
 		rg = g(t, fr.env)
 	} else {
 		if popped != nil {
 			panic("rts: foreign frame popped at join")
 		}
+		t.joined(fr, false)
 		t.w.WaitHelp(fr.sf)
 		rg = fr.scalar
 		if r.cfg.Mode == ParMem {
@@ -136,6 +185,7 @@ func (t *Task) ForkJoinScalar(env mem.ObjPtr, f, g ScalarThunk) (uint64, uint64)
 	}
 	if r.cfg.Mode == ParMem {
 		t.sh.PopJoin()
+		t.popHeap()
 		t.maybeCollectJoin() // scalar results need no extra roots
 	}
 	t.PopRoots(mark)
@@ -189,14 +239,14 @@ func (t *Task) ForkJoinN(env mem.ObjPtr, fs ...Thunk) []mem.ObjPtr {
 		for i := 1; i < n; i++ {
 			frames[i].forkHeap = forkHeap
 		}
-		t.sh.Push()
+		t.pushHeap()
 	}
 	for i := 1; i < n; i++ {
 		fr, g := frames[i], fs[i]
 		fr.sf = sched.NewFrame(func(thief *sched.Worker) {
 			r.runStolen(fr, g, thief)
 		})
-		t.w.Push(fr.sf)
+		t.publish(fr)
 	}
 	res[0] = fs[0](t, env)
 	t.PushRoot(&res[0])
@@ -206,11 +256,13 @@ func (t *Task) ForkJoinN(env mem.ObjPtr, fs ...Thunk) []mem.ObjPtr {
 	for i := n - 1; i >= 1; i-- {
 		fr := frames[i]
 		if popped := t.w.PopBottom(); popped == fr.sf {
+			t.joined(fr, true)
 			res[i] = fs[i](t, fr.env)
 		} else {
 			if popped != nil {
 				panic("rts: foreign frame popped at join")
 			}
+			t.joined(fr, false)
 			t.w.WaitHelp(fr.sf)
 			res[i] = fr.result
 			if r.cfg.Mode == ParMem {
@@ -221,42 +273,68 @@ func (t *Task) ForkJoinN(env mem.ObjPtr, fs ...Thunk) []mem.ObjPtr {
 	}
 	if r.cfg.Mode == ParMem {
 		t.sh.PopJoin()
+		t.popHeap()
 		t.maybeCollectJoin() // all results are rooted above
 	}
 	t.PopRoots(mark)
 	return res
 }
 
-// runStolen executes a stolen pointer-result frame on the thief.
-func (r *Runtime) runStolen(fr *frame, g Thunk, thief *sched.Worker) {
-	st := r.newStolenTask(thief, fr.forkHeap)
+// runStolenFrame is the shell shared by both stolen-frame runners: it
+// builds the stolen task in the victim's session, wires the thief's
+// superheap into the frame for the join, and applies the session harness
+// — abort fast path, panic containment (Session.guard), and the strict
+// teardown order: guard's recover/drain, then task finish, then the
+// frame's outstanding count (which is what finally lets reclamation
+// proceed).
+func (r *Runtime) runStolenFrame(fr *frame, thief *sched.Worker, body func(st *Task)) {
+	ses := fr.ses
+	if ses != nil {
+		defer ses.frameDone() // last: runs after st.finish
+	}
+	st := r.newStolenTask(thief, fr.forkHeap, ses)
 	if r.cfg.Mode == ParMem {
 		fr.childSH = st.sh
 	}
-	env := r.stolenEnv(fr, st)
-	mark := st.PushRoot(&env)
-	res := g(st, env)
-	st.PopRoots(mark)
-	if r.cfg.Mode == Manticore && !res.IsNil() && heap.Of(res).Depth() > 0 {
-		// Result communication to another worker promotes the result's
-		// object graph to the shared global heap (DLG invariant).
-		res = core.PromoteTo(&st.Ops, r.rootHeap, res)
+	defer st.finish()
+	if ses != nil {
+		if ses.aborted.Load() {
+			return // session already failed; leave the arm unrun
+		}
+		ses.guard(st, func() { body(st) })
+		return
 	}
-	fr.result = res
-	st.finish()
+	body(st)
+}
+
+// runStolen executes a stolen pointer-result frame on the thief. The
+// stolen task joins the victim's session: it counts against the session's
+// outstanding frames (consumed here, not at the victim's join), checks the
+// session's abort flag, and converts its own panics into the session's
+// failure instead of crashing the worker.
+func (r *Runtime) runStolen(fr *frame, g Thunk, thief *sched.Worker) {
+	r.runStolenFrame(fr, thief, func(st *Task) {
+		env := r.stolenEnv(fr, st)
+		mark := st.PushRoot(&env)
+		res := g(st, env)
+		st.PopRoots(mark)
+		if r.cfg.Mode == Manticore && !res.IsNil() && heap.Of(res).Depth() > 0 {
+			// Result communication to another worker promotes the result's
+			// object graph to the shared global heap (DLG invariant).
+			res = core.PromoteTo(&st.Ops, r.rootHeap, res)
+		}
+		fr.result = res
+	})
 }
 
 // runStolenScalar executes a stolen scalar-result frame on the thief.
 func (r *Runtime) runStolenScalar(fr *frame, g ScalarThunk, thief *sched.Worker) {
-	st := r.newStolenTask(thief, fr.forkHeap)
-	if r.cfg.Mode == ParMem {
-		fr.childSH = st.sh
-	}
-	env := r.stolenEnv(fr, st)
-	mark := st.PushRoot(&env)
-	fr.scalar = g(st, env)
-	st.PopRoots(mark)
-	st.finish()
+	r.runStolenFrame(fr, thief, func(st *Task) {
+		env := r.stolenEnv(fr, st)
+		mark := st.PushRoot(&env)
+		fr.scalar = g(st, env)
+		st.PopRoots(mark)
+	})
 }
 
 // stolenEnv resolves the environment seen by a stolen frame. In Manticore

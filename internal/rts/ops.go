@@ -14,8 +14,11 @@ import (
 
 // Alloc allocates an object with numPtr pointer fields and numNonptr raw
 // words, running the mode's collection trigger first (allocation points are
-// the GC safe points).
+// the GC safe points). Allocation is also the session safe point: an
+// aborted session's tasks unwind here, and the session allocation budget
+// is charged here (session.go allocGate).
 func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+	t.allocGate(mem.ObjectWords(numPtr, numNonptr))
 	r := t.rt
 	switch r.cfg.Mode {
 	case ParMem, Seq:
@@ -52,6 +55,7 @@ func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 func (t *Task) AllocMut(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 	r := t.rt
 	if r.cfg.Mode == Manticore {
+		t.allocGate(mem.ObjectWords(numPtr, numNonptr))
 		g := r.rootHeap
 		g.Lock(heap.WRITE)
 		p := core.Alloc(g, &t.Ops, numPtr, numNonptr, tag)

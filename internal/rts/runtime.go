@@ -3,6 +3,7 @@ package rts
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gc"
@@ -37,6 +38,13 @@ type Runtime struct {
 
 	gcNanos       atomic.Int64
 	baselineBytes int64
+
+	// Session accounting (session.go): every unit of work — including a
+	// plain Run — executes as a root-level session.
+	sessionIDs   atomic.Uint64
+	liveSessions atomic.Int64
+	peakSessions atomic.Int64
+	sessTotals   sessionCounters
 
 	// stop-the-world rendezvous state (STW mode)
 	gcFlag       atomic.Bool // mirrors gcInProgress for cheap checks
@@ -146,31 +154,29 @@ func (r *Runtime) Procs() int {
 	return r.cfg.Procs
 }
 
-// Run executes fn as the root task and returns its result. The root task
-// runs on a worker (or on the calling goroutine in Seq mode).
+// Run executes fn as a single pinned session and blocks for its result:
+// Submit + Wait, with the subtree merged into the super-root so pointer
+// results stay valid until Close. A panic inside fn is re-raised on the
+// calling goroutine instead of crashing a worker.
 func (r *Runtime) Run(fn func(*Task) uint64) uint64 {
-	if r.cfg.Mode == Seq {
-		t := r.newTask(nil)
-		res := fn(t)
-		t.finish()
-		return res
+	res, err := r.Submit(SessionOpts{Pin: true}, fn).Wait()
+	if err != nil {
+		if pe, ok := err.(*PanicError); ok {
+			panic(pe.Value)
+		}
+		panic(err)
 	}
-	var res uint64
-	r.pool.RunRoot(func(w *sched.Worker) {
-		t := r.newTask(w)
-		res = fn(t)
-		t.finish()
-	})
 	return res
 }
 
-// newTask creates a task hosted on worker w (nil in Seq mode) with a fresh
-// execution context for the mode.
-func (r *Runtime) newTask(w *sched.Worker) *Task {
-	t := &Task{rt: r, w: w}
+// newSessionTask creates the root task of a session, hosted on worker w
+// (nil in Seq mode). In the hierarchical modes its superheap is based at
+// the session's subtree heap, one level under the process super-root.
+func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
+	t := &Task{rt: r, w: w, ses: s}
 	switch r.cfg.Mode {
 	case ParMem, Seq:
-		t.sh = heap.NewSuperheap(r.rootHeap)
+		t.sh = heap.NewSuperheap(s.heap)
 	case STW, Manticore:
 		t.ws = w.Local.(*workerState)
 	}
@@ -183,12 +189,15 @@ func (r *Runtime) newTask(w *sched.Worker) *Task {
 	return t
 }
 
-// newStolenTask creates the context for a stolen frame.
-func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap) *Task {
-	t := &Task{rt: r, w: w}
+// newStolenTask creates the context for a stolen frame, in the same
+// session as the victim.
+func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap, s *Session) *Task {
+	t := &Task{rt: r, w: w, ses: s}
 	switch r.cfg.Mode {
 	case ParMem:
-		t.sh = heap.NewSuperheap(heap.NewChild(forkHeap))
+		base := heap.NewChild(forkHeap)
+		t.sh = heap.NewSuperheap(base)
+		t.madeHeaps = append(t.madeHeaps, base)
 	case STW, Manticore:
 		t.ws = w.Local.(*workerState)
 	}
@@ -214,6 +223,11 @@ type Totals struct {
 	// modes: counts by kind, peak concurrency, and overlap time. Zero in
 	// STW mode.
 	Zones gc.ZoneStats
+
+	// Sessions describes the runtime's root-level session activity: counts,
+	// peak concurrency, and bytes reclaimed wholesale versus merged into
+	// the super-root by pinned sessions.
+	Sessions SessionTotals
 }
 
 // Stats returns aggregate statistics. Call after Run completes.
@@ -233,6 +247,14 @@ func (r *Runtime) Stats() Totals {
 	if r.zones != nil {
 		t.Zones = r.zones.Snapshot()
 	}
+	t.Sessions = SessionTotals{
+		Submitted:      r.sessTotals.Submitted.Load(),
+		Completed:      r.sessTotals.Completed.Load(),
+		Failed:         r.sessTotals.Failed.Load(),
+		PeakLive:       r.peakSessions.Load(),
+		WholesaleBytes: r.sessTotals.WholesaleBytes.Load(),
+		MergedBytes:    r.sessTotals.MergedBytes.Load(),
+	}
 	return t
 }
 
@@ -250,9 +272,18 @@ func (r *Runtime) CheckDisentangled() error {
 // allows a new Runtime to be created. Closing twice is a no-op; only the
 // first caller releases (concurrent Closes must not double-free the
 // chunk lists or re-arm the exclusivity flag under a newer Runtime).
+//
+// Close first waits for every submitted session to complete: releasing a
+// subtree under a live mutator would corrupt it, and a session still
+// queued in the pool's inbox must get to run (and its Wait to return)
+// before the workers stop. Callers wanting a prompt Close drain their
+// sessions first; Close must not be called from inside a session.
 func (r *Runtime) Close() {
 	if !r.closed.CompareAndSwap(false, true) {
 		return
+	}
+	for r.liveSessions.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
 	}
 	if r.pool != nil {
 		r.pool.Close()
@@ -262,8 +293,16 @@ func (r *Runtime) Close() {
 			heap.FreeChunkList(ws.heap.TakeChunks())
 		}
 	}
-	if r.rootHeap != nil && r.rootHeap.IsAlive() {
-		heap.FreeChunkList(r.rootHeap.TakeChunks())
+	if r.rootHeap != nil {
+		// Subtrees of sessions that were never waited out (callers should
+		// drain first; this is the backstop against chunk leaks).
+		for _, c := range r.rootHeap.AttachedChildren() {
+			r.rootHeap.DetachChild(c)
+			heap.ReleaseWholesale(r.rootHeap, c)
+		}
+		if r.rootHeap.IsAlive() {
+			heap.FreeChunkList(r.rootHeap.TakeChunks())
+		}
 	}
 	activeRuntime.Store(false)
 }

@@ -15,10 +15,11 @@ import (
 // at its worker's allocation heap in the flat modes, carries per-task
 // operation counters, and holds the shadow stack of GC root slots.
 type Task struct {
-	rt *Runtime
-	w  *sched.Worker
-	sh *heap.Superheap // ParMem / Seq
-	ws *workerState    // STW / Manticore
+	rt  *Runtime
+	w   *sched.Worker
+	sh  *heap.Superheap // ParMem / Seq
+	ws  *workerState    // STW / Manticore
+	ses *Session        // owning session (every task belongs to one)
 
 	// Ops tallies this task's memory operations (merged at completion).
 	Ops     core.Counters
@@ -26,7 +27,19 @@ type Task struct {
 	gcNanos int64
 
 	roots []*mem.ObjPtr
+
+	// pending tracks the frames this task published but has not yet
+	// joined, newest last; the session abort path drains it (session.go).
+	pending []*sched.Frame
+
+	// madeHeaps records the hierarchy heaps this task created (superheap
+	// pushes, stolen bases), task-locally to keep the fork path lock-free;
+	// finish merges it into the session's reclamation registry.
+	madeHeaps []*heap.Heap
 }
+
+// Session returns the session the task belongs to.
+func (t *Task) Session() *Session { return t.ses }
 
 // Runtime returns the owning runtime.
 func (t *Task) Runtime() *Runtime { return t.rt }
@@ -59,11 +72,16 @@ func (t *Task) PopRoots(mark int) {
 	t.roots = t.roots[:mark]
 }
 
-// finish merges the task's statistics into the runtime and deregisters it.
+// finish merges the task's statistics into the runtime, hands its created
+// heaps to the session's reclamation registry, and deregisters it.
 func (t *Task) finish() {
 	r := t.rt
 	if t.ws != nil {
 		delete(t.ws.tasks, t)
+	}
+	if t.ses != nil {
+		t.ses.addHeaps(t.madeHeaps)
+		t.madeHeaps = nil
 	}
 	r.mu.Lock()
 	r.totals.Add(&t.Ops)

@@ -37,10 +37,17 @@ import (
 
 // collectZone collects the given zone through the runtime's scheduler,
 // rooted by the task's shadow stack, charging the elapsed time (admission
-// wait included) to this task's GC account.
+// wait included) to this task's GC account. The zone is tagged with the
+// task's session, so the scheduler can report how many distinct sessions
+// collected concurrently (the serving layer's cross-request GC
+// concurrency).
 func (t *Task) collectZone(zone []*heap.Heap, kind gc.ZoneKind) {
 	start := time.Now()
-	stats := t.rt.zones.CollectZone(zone, t.roots, kind)
+	var fam uint64
+	if t.ses != nil {
+		fam = t.ses.id
+	}
+	stats := t.rt.zones.CollectSessionZone(fam, zone, t.roots, kind)
 	t.gcNanos += time.Since(start).Nanoseconds()
 	t.gcStats.Add(stats)
 }

@@ -138,6 +138,12 @@ func (w *Worker) loop() {
 	}
 }
 
+// SafePoint invokes the pool's safe-point hook on this worker, if one is
+// installed. Runtime code that parks a worker outside the scheduler loops
+// (e.g. a session waiting out its orphaned frames) must call it so a
+// stop-the-world rendezvous can count the worker as stopped.
+func (w *Worker) SafePoint() { w.pool.callSafePoint(w) }
+
 // Push makes a frame stealable on this worker's deque.
 func (w *Worker) Push(f *Frame) { w.deque.Push(f) }
 
