@@ -10,6 +10,7 @@
 //	hhbench -table fig8               # operation cost matrix
 //	hhbench -table zones              # zone-collection concurrency (parmem)
 //	hhbench -table serve              # serving-layer throughput/latency (all systems)
+//	hhbench -table alloc              # chunk-pool/cache recycling, pool on vs off
 //	hhbench -table all                # everything
 //	hhbench -bench msort,usp-tree ... # subset of benchmarks
 //	hhbench -paper                    # the paper's original problem sizes
@@ -54,7 +55,7 @@ func resolveCommit() string {
 }
 
 func main() {
-	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|all")
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|alloc|all")
 	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	names := flag.String("bench", "", "comma-separated benchmark subset")
@@ -104,6 +105,8 @@ func main() {
 			run(tb, func() error { return report.ZoneTable(w, opts) })
 		case "serve":
 			run(tb, func() error { return report.ServeTable(w, opts) })
+		case "alloc":
+			run(tb, func() error { return report.AllocTable(w, opts) })
 		case "all":
 			run("fig8", func() error { return report.Fig8(w, opts, *iters) })
 			run("fig9", func() error { return report.Fig9(w, opts) })
@@ -113,6 +116,7 @@ func main() {
 			run("fig13", func() error { return report.Fig13(w, opts) })
 			run("zones", func() error { return report.ZoneTable(w, opts) })
 			run("serve", func() error { return report.ServeTable(w, opts) })
+			run("alloc", func() error { return report.AllocTable(w, opts) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %q\n", tb)
 			os.Exit(2)

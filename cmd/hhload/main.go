@@ -38,6 +38,7 @@ func main() {
 	gcRatio := flag.Float64("gc-ratio", 1.25, "collection trigger: growth ratio")
 	minZoneSessions := flag.Int64("min-zone-sessions", 2,
 		"fail unless parmem observes this many sessions collecting concurrently (0 = off)")
+	noPool := flag.Bool("nopool", false, "disable the chunk pool / worker caches (recycling ablation)")
 	flag.Parse()
 
 	// The pool simulates *procs processors; give the Go scheduler at least
@@ -69,7 +70,7 @@ func main() {
 	var refMode string
 	for _, mode := range modes {
 		sum, ok := driveMode(mode, *procs, *sessions, *requests, *size, mix, *budget,
-			*gcMin, *gcRatio, *minZoneSessions)
+			*gcMin, *gcRatio, *minZoneSessions, *noPool)
 		if !ok {
 			failed = true
 		}
@@ -96,9 +97,13 @@ func main() {
 // driveMode runs one closed loop against one runtime mode and returns the
 // order-independent checksum of the whole request stream.
 func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
-	budget, gcMin int64, gcRatio float64, minZoneSessions int64) (uint64, bool) {
+	budget, gcMin int64, gcRatio float64, minZoneSessions int64, noPool bool) (uint64, bool) {
 
-	r := hh.New(hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(gcMin, gcRatio))
+	opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(gcMin, gcRatio)}
+	if noPool {
+		opts = append(opts, hh.WithoutChunkPool())
+	}
+	r := hh.New(opts...)
 	defer r.Close()
 	base := hh.ChunksInUse()
 	hierarchical := mode == hh.ParMem || mode == hh.Seq
@@ -126,6 +131,14 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 	fmt.Printf("    zones: %d total (%d session-tagged), peak %d concurrent, peak %d sessions collecting, %s overlap\n",
 		rt.Zones.Zones, rt.Zones.SessionZones, rt.Zones.MaxConcurrent,
 		rt.Zones.MaxConcurrentSessions, time.Duration(rt.Zones.OverlapNanos).Round(time.Microsecond))
+	done := st.Finished()
+	if done == 0 {
+		done = 1
+	}
+	fmt.Printf("    alloc: %d chunks (%.0f%% cache, %.0f%% pool, %d fresh), %d dirops (%.2f/req), %d KiB pooled\n",
+		rt.Alloc.Acquires+rt.Alloc.Oversize, 100*rt.Alloc.CacheHitRate(), 100*rt.Alloc.PoolHitRate(),
+		rt.Alloc.FreshChunks+rt.Alloc.Oversize, rt.Alloc.DirIDOps,
+		float64(rt.Alloc.DirIDOps)/float64(done), rt.Alloc.PooledBytes>>10)
 
 	if res.Failures > 0 {
 		ok = false

@@ -88,6 +88,31 @@ func WithoutGC() Option {
 	return func(c *rts.Config) { c.DisableGC = true }
 }
 
+// WithChunkPoolLimit sets the high-water mark of the global chunk pool in
+// bytes: chunks released by completed sessions and zone collections are
+// recycled up to this total, and past it go back to the OS. 0 selects the
+// default (64 MiB). The pool is process-global; the limit applies for this
+// runtime's lifetime.
+func WithChunkPoolLimit(bytes int64) Option {
+	return func(c *rts.Config) { c.PoolLimitBytes = bytes }
+}
+
+// WithWorkerCacheChunks bounds each worker's private chunk cache, in
+// chunks per size class (0 selects the default, 8). Larger caches keep
+// more allocation entirely worker-local under bursty load; smaller caches
+// return memory to the shared pool sooner.
+func WithWorkerCacheChunks(n int) Option {
+	return func(c *rts.Config) { c.CacheChunksPerClass = n }
+}
+
+// WithoutChunkPool disables the recycling allocator: every chunk release
+// is a hard free and every acquisition a fresh allocation, as in the
+// pre-pool runtime. The ablation that measures what recycling buys
+// (hhbench -table alloc reports both sides).
+func WithoutChunkPool() Option {
+	return func(c *rts.Config) { c.DisableChunkPool = true }
+}
+
 // WithoutWritePtrFastPath forces every mutable pointer write through the
 // master-copy lookup (the §3.3 fast-path ablation).
 func WithoutWritePtrFastPath() Option {

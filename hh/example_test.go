@@ -1,0 +1,47 @@
+package hh_test
+
+import (
+	"fmt"
+
+	"repro/hh"
+)
+
+// ExampleRuntime_Submit serves several independent units of work as
+// concurrent sessions. Each session is its own subtree of the heap
+// hierarchy: it allocates freely, may fork internally, and the moment
+// Wait returns its entire memory has been reclaimed wholesale — chunks go
+// back to the runtime's recycling pool for the next session, not to a
+// garbage collector.
+func ExampleRuntime_Submit() {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2))
+	defer r.Close()
+
+	// Submit three sessions; they run concurrently with each other.
+	sessions := make([]*hh.Session, 3)
+	for i := range sessions {
+		n := uint64(10 * (i + 1))
+		sessions[i] = r.Submit(hh.SessionOpts{}, func(t *hh.Task) uint64 {
+			// Sum 1..n in parallel inside the session.
+			return hh.ParSum(t, nil, 1, int(n)+1, 4,
+				func(t *hh.Task, _ *hh.Env, lo, hi int) uint64 {
+					var s uint64
+					for j := lo; j < hi; j++ {
+						s += uint64(j)
+					}
+					return s
+				})
+		})
+	}
+	for i, s := range sessions {
+		res, err := s.Wait()
+		if err != nil {
+			fmt.Println("session failed:", err)
+			continue
+		}
+		fmt.Printf("session %d: %d\n", i, res)
+	}
+	// Output:
+	// session 0: 55
+	// session 1: 210
+	// session 2: 465
+}

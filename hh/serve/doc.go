@@ -23,7 +23,21 @@
 //   - accounting: throughput, latency quantiles, peak concurrency, and
 //     bytes reclaimed wholesale versus merged ([Server.Stats]).
 //
-// Typical use:
+// # Request memory is recycled, not freed
+//
+// Wholesale reclamation feeds the runtime's chunk lifecycle (alloc → cache
+// → pool → OS, see internal/mem): a completed request's chunks land in the
+// chunk cache of the worker that finished it and overflow into the global
+// size-classed pool, so the NEXT request's heaps are built from the last
+// request's memory — under steady load the serving hot path performs no
+// chunk-directory ID operations and no fresh allocations at all. hh
+// options tune the tiers (hh.WithChunkPoolLimit, hh.WithWorkerCacheChunks,
+// hh.WithoutChunkPool); hhbench -table serve reports the recycle rate and
+// directory operations per request, and hhbench -table alloc isolates the
+// allocator with the pool on versus off. See TUNING.md for how to read
+// them.
+//
+// Typical use (see the runnable Example on Server):
 //
 //	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(8))
 //	defer r.Close()

@@ -1,0 +1,48 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/hh"
+	"repro/hh/serve"
+)
+
+// ExampleServer runs a tiny request loop: every submitted request becomes
+// its own session with admission control and a bounded queue in front of
+// it, and each completed request's memory is recycled wholesale into the
+// chunk pool that serves the next request's allocations.
+func ExampleServer() {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2))
+	defer r.Close()
+	srv := serve.New(r,
+		serve.WithMaxInFlight(2),     // at most 2 sessions running
+		serve.WithQueueDepth(8),      // up to 8 more queued; beyond that ErrSaturated
+		serve.WithSessionBudget(1e6)) // per-request allocation cap in words
+
+	var tickets []*serve.Ticket
+	for i := 0; i < 4; i++ {
+		n := uint64(i + 1)
+		tk, err := srv.Submit(func(t *hh.Task) uint64 { return n * n })
+		if errors.Is(err, serve.ErrSaturated) {
+			fmt.Println("shed request", i)
+			continue
+		}
+		tickets = append(tickets, tk)
+	}
+	var sum uint64
+	for _, tk := range tickets {
+		res, err := tk.Wait()
+		if err != nil {
+			fmt.Println("request failed:", err)
+			continue
+		}
+		sum += res
+	}
+	srv.Drain() // quiesce: every accepted request has completed
+
+	st := srv.Stats()
+	fmt.Printf("sum=%d completed=%d failed=%d\n", sum, st.Completed, st.Failed)
+	// Output:
+	// sum=30 completed=4 failed=0
+}

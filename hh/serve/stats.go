@@ -98,3 +98,7 @@ type ServeStats struct {
 	WholesaleBytes int64
 	MergedBytes    int64
 }
+
+// Finished returns the number of requests that ran to an outcome,
+// successful or failed — the denominator for per-request rates.
+func (s ServeStats) Finished() int64 { return s.Completed + s.Failed }

@@ -6,11 +6,13 @@ import (
 )
 
 // Alloc allocates a fresh object in the task's current heap (Figure 6,
-// alloc): the caller passes its current — necessarily leaf — heap.
-func Alloc(cur *heap.Heap, ops *Counters, numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+// alloc): the caller passes its current — necessarily leaf — heap, and its
+// worker's chunk cache (nil when it runs off-worker) so that the heap's
+// chunks are acquired without shared-state operations.
+func Alloc(cc *mem.ChunkCache, cur *heap.Heap, ops *Counters, numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 	ops.Allocs++
 	ops.AllocWords += int64(mem.ObjectWords(numPtr, numNonptr))
-	return cur.FreshObj(numPtr, numNonptr, tag)
+	return cur.FreshObjVia(cc, numPtr, numNonptr, tag)
 }
 
 // ReadImmWord reads an immutable non-pointer field: a plain load with no
@@ -157,14 +159,15 @@ func WriteInitPtr(ops *Counters, p mem.ObjPtr, i int, q mem.ObjPtr) {
 // forwarding pointer — promotion is impossible there. Otherwise the master
 // copy decides: if it is at least as deep as the pointee the write cannot
 // entangle and proceeds under the read lock; if it is shallower, the
-// pointee must first be promoted into the master's heap.
-func WritePtr(cur *heap.Heap, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+// pointee must first be promoted into the master's heap — cc, the calling
+// worker's chunk cache, supplies the target heap's chunks (nil for none).
+func WritePtr(cc *mem.ChunkCache, cur *heap.Heap, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	if heap.Of(obj) == cur && !mem.HasFwd(obj) {
 		ops.WritePtrFast++
 		mem.StorePtrFieldAtomic(obj, field, ptr)
 		return
 	}
-	WritePtrSlow(ops, obj, field, ptr)
+	WritePtrSlow(cc, ops, obj, field, ptr)
 }
 
 // WritePtrSlow is WritePtr without the local fast path: every write goes
@@ -172,7 +175,7 @@ func WritePtr(cur *heap.Heap, ops *Counters, obj mem.ObjPtr, field int, ptr mem.
 // paper's implementation "prioritizes the efficiency of updates to local
 // objects"; this measures what that priority buys) and as the write path
 // for contexts with no current-heap notion.
-func WritePtrSlow(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+func WritePtrSlow(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	m, h := FindMaster(ops, obj)
 	if ptr.IsNil() || h.Depth() >= heap.Of(ptr).Depth() {
 		ops.WritePtrNonProm++
@@ -182,5 +185,5 @@ func WritePtrSlow(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	}
 	h.Unlock()
 	ops.WritePtrProm++
-	writePromote(ops, m, field, ptr)
+	writePromote(cc, ops, m, field, ptr)
 }

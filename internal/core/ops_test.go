@@ -27,7 +27,7 @@ func TestAllocCounts(t *testing.T) {
 	root := heap.NewRoot()
 	defer freeAll(root)
 	var ops Counters
-	p := Alloc(root, &ops, 1, 2, mem.TagTuple)
+	p := Alloc(nil, root, &ops, 1, 2, mem.TagTuple)
 	if heap.Of(p) != root {
 		t.Fatal("allocation must land in the current heap")
 	}
@@ -40,8 +40,8 @@ func TestReadImm(t *testing.T) {
 	root := heap.NewRoot()
 	defer freeAll(root)
 	var ops Counters
-	p := Alloc(root, &ops, 1, 1, mem.TagTuple)
-	q := Alloc(root, &ops, 0, 1, mem.TagRef)
+	p := Alloc(nil, root, &ops, 1, 1, mem.TagTuple)
+	q := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, p, 0, 42)
 	WriteInitPtr(&ops, p, 0, q)
 	if ReadImmWord(&ops, p, 0) != 42 || ReadImmPtr(&ops, p, 0) != q {
@@ -56,7 +56,7 @@ func TestFindMasterNoChain(t *testing.T) {
 	root := heap.NewRoot()
 	defer freeAll(root)
 	var ops Counters
-	p := Alloc(root, &ops, 0, 1, mem.TagRef)
+	p := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	m, h := FindMaster(&ops, p)
 	if m != p || h != root {
 		t.Fatal("master of unforwarded object is itself")
@@ -68,9 +68,9 @@ func TestFindMasterFollowsChain(t *testing.T) {
 	root, child, grand := hierarchy()
 	defer freeAll(root, child, grand)
 	var ops Counters
-	a := Alloc(grand, &ops, 0, 1, mem.TagRef)
-	b := Alloc(child, &ops, 0, 1, mem.TagRef)
-	c := Alloc(root, &ops, 0, 1, mem.TagRef)
+	a := Alloc(nil, grand, &ops, 0, 1, mem.TagRef)
+	b := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
+	c := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	mem.StoreFwd(a, b)
 	mem.StoreFwd(b, c)
 	m, h := FindMaster(&ops, a)
@@ -84,7 +84,7 @@ func TestReadMutFastAndSlow(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	p := Alloc(child, &ops, 0, 1, mem.TagRef)
+	p := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 	WriteNonptr(child, &ops, p, 0, 7)
 	if ReadMutWord(&ops, p, 0) != 7 {
 		t.Fatal("local mutable read failed")
@@ -93,7 +93,7 @@ func TestReadMutFastAndSlow(t *testing.T) {
 		t.Fatalf("fast path not taken: %+v", ops)
 	}
 	// Manually promote: master in root holds a different value.
-	m := Alloc(root, &ops, 0, 1, mem.TagRef)
+	m := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	mem.StoreWordField(m, 0, 99)
 	mem.StoreFwd(p, m)
 	if ReadMutWord(&ops, p, 0) != 99 {
@@ -108,8 +108,8 @@ func TestWriteNonptrUpdatesMaster(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	p := Alloc(child, &ops, 0, 1, mem.TagRef)
-	m := Alloc(root, &ops, 0, 1, mem.TagRef)
+	p := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
+	m := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	mem.StoreFwd(p, m)
 	WriteNonptr(child, &ops, p, 0, 123)
 	if mem.LoadWordField(m, 0) != 123 {
@@ -124,7 +124,7 @@ func TestCASWord(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	p := Alloc(root, &ops, 0, 1, mem.TagRef)
+	p := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	if !CASWord(&ops, p, 0, 0, 5) {
 		t.Fatal("CAS from zero must succeed")
 	}
@@ -135,8 +135,8 @@ func TestCASWord(t *testing.T) {
 		t.Fatalf("counters: %+v", ops)
 	}
 	// Promoted object: CAS settles on the master.
-	q := Alloc(child, &ops, 0, 1, mem.TagRef)
-	m := Alloc(root, &ops, 0, 1, mem.TagRef)
+	q := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
+	m := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	mem.StoreWordField(m, 0, 10)
 	mem.StoreFwd(q, m)
 	if !CASWord(&ops, q, 0, 10, 11) || mem.LoadWordField(m, 0) != 11 {
@@ -151,9 +151,9 @@ func TestWritePtrFastPathLocal(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	obj := Alloc(child, &ops, 1, 0, mem.TagRef)
-	val := Alloc(child, &ops, 0, 1, mem.TagRef)
-	WritePtr(child, &ops, obj, 0, val)
+	obj := Alloc(nil, child, &ops, 1, 0, mem.TagRef)
+	val := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
+	WritePtr(nil, child, &ops, obj, 0, val)
 	if mem.LoadPtrFieldAtomic(obj, 0) != val {
 		t.Fatal("local pointer write failed")
 	}
@@ -167,10 +167,10 @@ func TestWritePtrNonPromotingDistant(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	obj := Alloc(child, &ops, 1, 0, mem.TagRef) // deep object
-	val := Alloc(root, &ops, 0, 1, mem.TagRef)  // shallow value
+	obj := Alloc(nil, child, &ops, 1, 0, mem.TagRef) // deep object
+	val := Alloc(nil, root, &ops, 0, 1, mem.TagRef)  // shallow value
 	// Write from a context whose current heap is not child's: forces slow path.
-	WritePtr(root, &ops, obj, 0, val)
+	WritePtr(nil, root, &ops, obj, 0, val)
 	if mem.LoadPtrFieldAtomic(obj, 0) != val {
 		t.Fatal("distant pointer write failed")
 	}
@@ -183,8 +183,8 @@ func TestWritePtrNilNeverPromotes(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	obj := Alloc(root, &ops, 1, 0, mem.TagRef)
-	WritePtr(child, &ops, obj, 0, mem.NilPtr)
+	obj := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	WritePtr(nil, child, &ops, obj, 0, mem.NilPtr)
 	if ops.Promotions != 0 || ops.WritePtrNonProm != 1 {
 		t.Fatalf("nil write must not promote: %+v", ops)
 	}
@@ -194,11 +194,11 @@ func TestWritePtrPromotes(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	cell := Alloc(root, &ops, 1, 0, mem.TagRef) // mutable cell at the root
-	local := Alloc(child, &ops, 0, 1, mem.TagRef)
+	cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef) // mutable cell at the root
+	local := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, local, 0, 77)
 
-	WritePtr(child, &ops, cell, 0, local)
+	WritePtr(nil, child, &ops, cell, 0, local)
 
 	got := ReadMutPtr(&ops, cell, 0)
 	if got.IsNil() || got == local {
@@ -226,18 +226,18 @@ func TestPromotionIsTransitive(t *testing.T) {
 	root, child, grand := hierarchy()
 	defer freeAll(root, child, grand)
 	var ops Counters
-	cell := Alloc(root, &ops, 1, 0, mem.TagRef)
+	cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
 
 	const n = 20
 	list := mem.NilPtr
 	for i := n - 1; i >= 0; i-- {
-		cons := Alloc(grand, &ops, 1, 1, mem.TagCons)
+		cons := Alloc(nil, grand, &ops, 1, 1, mem.TagCons)
 		WriteInitWord(&ops, cons, 0, uint64(i))
 		WriteInitPtr(&ops, cons, 0, list)
 		list = cons
 	}
 
-	WritePtr(grand, &ops, cell, 0, list)
+	WritePtr(nil, grand, &ops, cell, 0, list)
 
 	if ops.PromotedObjects != n {
 		t.Fatalf("promoted %d objects, want %d", ops.PromotedObjects, n)
@@ -270,13 +270,13 @@ func TestPromotionSharesAlreadyPromoted(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	cellA := Alloc(root, &ops, 1, 0, mem.TagRef)
-	cellB := Alloc(root, &ops, 1, 0, mem.TagRef)
-	local := Alloc(child, &ops, 0, 1, mem.TagRef)
+	cellA := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	cellB := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	local := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 
-	WritePtr(child, &ops, cellA, 0, local)
+	WritePtr(nil, child, &ops, cellA, 0, local)
 	first := ReadMutPtr(&ops, cellA, 0)
-	WritePtr(child, &ops, cellB, 0, local)
+	WritePtr(nil, child, &ops, cellB, 0, local)
 	second := ReadMutPtr(&ops, cellB, 0)
 
 	if first != second {
@@ -293,13 +293,13 @@ func TestPromotionStopsAtTargetDepth(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	cell := Alloc(root, &ops, 1, 0, mem.TagRef)
-	shallow := Alloc(root, &ops, 0, 1, mem.TagRef)
+	cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	shallow := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, shallow, 0, 5)
-	pair := Alloc(child, &ops, 1, 0, mem.TagTuple)
+	pair := Alloc(nil, child, &ops, 1, 0, mem.TagTuple)
 	WriteInitPtr(&ops, pair, 0, shallow)
 
-	WritePtr(child, &ops, cell, 0, pair)
+	WritePtr(nil, child, &ops, cell, 0, pair)
 
 	if ops.PromotedObjects != 1 {
 		t.Fatalf("only the pair should be copied, got %d", ops.PromotedObjects)
@@ -316,15 +316,15 @@ func TestPromotionOfCyclicGraph(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	cell := Alloc(root, &ops, 1, 0, mem.TagRef)
-	a := Alloc(child, &ops, 1, 1, mem.TagTuple)
-	b := Alloc(child, &ops, 1, 1, mem.TagTuple)
+	cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	a := Alloc(nil, child, &ops, 1, 1, mem.TagTuple)
+	b := Alloc(nil, child, &ops, 1, 1, mem.TagTuple)
 	WriteInitWord(&ops, a, 0, 1)
 	WriteInitWord(&ops, b, 0, 2)
 	WriteInitPtr(&ops, a, 0, b)
 	WriteInitPtr(&ops, b, 0, a)
 
-	WritePtr(child, &ops, cell, 0, a)
+	WritePtr(nil, child, &ops, cell, 0, a)
 
 	pa := ReadMutPtr(&ops, cell, 0)
 	pb := mem.LoadPtrField(pa, 0)
@@ -346,13 +346,13 @@ func TestRepeatedPromotionBuildsChain(t *testing.T) {
 	root, child, grand := hierarchy()
 	defer freeAll(root, child, grand)
 	var ops Counters
-	cellMid := Alloc(child, &ops, 1, 0, mem.TagRef)
-	cellTop := Alloc(root, &ops, 1, 0, mem.TagRef)
-	obj := Alloc(grand, &ops, 0, 1, mem.TagRef)
+	cellMid := Alloc(nil, child, &ops, 1, 0, mem.TagRef)
+	cellTop := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	obj := Alloc(nil, grand, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, obj, 0, 1)
 
-	WritePtr(grand, &ops, cellMid, 0, obj) // promote grand -> child
-	WritePtr(grand, &ops, cellTop, 0, obj) // promote child -> root
+	WritePtr(nil, grand, &ops, cellMid, 0, obj) // promote grand -> child
+	WritePtr(nil, grand, &ops, cellTop, 0, obj) // promote child -> root
 
 	if ops.Promotions != 2 || ops.PromotedObjects != 2 {
 		t.Fatalf("counters: %+v", ops)
@@ -376,15 +376,15 @@ func TestCheckHeapDetectsEntanglement(t *testing.T) {
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
-	cell := Alloc(root, &ops, 1, 0, mem.TagRef)
-	local := Alloc(child, &ops, 0, 1, mem.TagRef)
+	cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	local := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 	// Bypass WritePtr to forge a down-pointer.
 	mem.StorePtrField(cell, 0, local)
 	if err := CheckHeap(root); err == nil {
 		t.Fatal("checker must flag the down-pointer")
 	}
 	// Repair through the legal path and re-check.
-	WritePtr(child, &ops, cell, 0, local)
+	WritePtr(nil, child, &ops, cell, 0, local)
 	if err := CheckSubtree(root, child); err != nil {
 		t.Fatal(err)
 	}

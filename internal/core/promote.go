@@ -26,7 +26,7 @@ import (
 // heap.LockZone, which write-locks its (disjointly admitted) zone deepest
 // first — and lock waits therefore only target heaps strictly shallower
 // than any lock held.
-func writePromote(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+func writePromote(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	src := heap.Of(ptr)
 	target := heap.Of(obj)
 	if target.Depth() >= src.Depth() {
@@ -59,7 +59,7 @@ func writePromote(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 		target = heap.Of(obj)
 	}
 
-	promoted := promote(ops, target, ptr)
+	promoted := promote(cc, ops, target, ptr)
 	mem.StorePtrFieldAtomic(obj, field, promoted)
 	ops.Promotions++
 
@@ -79,10 +79,10 @@ func writePromote(ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 // The caller holds WRITE locks on every heap between (and including) p's
 // heap and target, so all forwarding installations and field fix-ups here
 // are protected.
-func promote(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
+func promote(cc *mem.ChunkCache, ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
 	td := target.Depth()
 	var scan []mem.ObjPtr
-	res := chaseCopy(ops, target, td, p, &scan)
+	res := chaseCopy(cc, ops, target, td, p, &scan)
 	for len(scan) > 0 {
 		o := scan[len(scan)-1]
 		scan = scan[:len(scan)-1]
@@ -91,7 +91,7 @@ func promote(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
 			if q.IsNil() {
 				continue
 			}
-			mem.StorePtrField(o, i, chaseCopy(ops, target, td, q, &scan))
+			mem.StorePtrField(o, i, chaseCopy(cc, ops, target, td, q, &scan))
 		}
 	}
 	return res
@@ -102,7 +102,7 @@ func promote(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
 // still-deep, unforwarded object is shallow-copied into target with its
 // forwarding pointer installed before the copy (so racing optimistic
 // writers can detect and redirect their updates).
-func chaseCopy(ops *Counters, target *heap.Heap, td int32, q mem.ObjPtr, scan *[]mem.ObjPtr) mem.ObjPtr {
+func chaseCopy(cc *mem.ChunkCache, ops *Counters, target *heap.Heap, td int32, q mem.ObjPtr, scan *[]mem.ObjPtr) mem.ObjPtr {
 	for {
 		if heap.Of(q).Depth() <= td {
 			return q
@@ -112,7 +112,7 @@ func chaseCopy(ops *Counters, target *heap.Heap, td int32, q mem.ObjPtr, scan *[
 			continue
 		}
 		numPtr, numNonptr, tag := mem.NumPtrFields(q), mem.NumNonptrWords(q), mem.TagOf(q)
-		fresh := target.FreshObj(numPtr, numNonptr, tag)
+		fresh := target.FreshObjVia(cc, numPtr, numNonptr, tag)
 		mem.StoreFwd(q, fresh)
 		mem.CopyBody(fresh, q)
 		ops.PromotedObjects++
@@ -126,13 +126,15 @@ func chaseCopy(ops *Counters, target *heap.Heap, td int32, q mem.ObjPtr, scan *[
 // target heap's write lock, returning the promoted pointer. This entry
 // point serves runtimes that promote eagerly on communication (the
 // DLG/Manticore-style baseline), where the source heaps are quiescent and
-// only the destination needs mutual exclusion.
-func PromoteTo(ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
+// only the destination needs mutual exclusion. cc is the CALLING worker's
+// chunk cache (nil for none); the target heap may be shared, but the cache
+// is private to the goroutine running this call.
+func PromoteTo(cc *mem.ChunkCache, ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
 	if p.IsNil() {
 		return p
 	}
 	target.Lock(heap.WRITE)
-	res := promote(ops, target, p)
+	res := promote(cc, ops, target, p)
 	target.Unlock()
 	return res
 }

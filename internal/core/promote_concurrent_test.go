@@ -24,7 +24,7 @@ func TestConcurrentPromotionsToSharedAncestor(t *testing.T) {
 
 	cells := make([]mem.ObjPtr, siblings)
 	for i := range cells {
-		cells[i] = Alloc(root, &setup, 1, 0, mem.TagRef)
+		cells[i] = Alloc(nil, root, &setup, 1, 0, mem.TagRef)
 	}
 
 	children := make([]*heap.Heap, siblings)
@@ -47,13 +47,13 @@ func TestConcurrentPromotionsToSharedAncestor(t *testing.T) {
 				// promotion contention on the same target heap.
 				head := mem.NilPtr
 				for j := 0; j < 3; j++ {
-					cons := Alloc(cur, ops, 1, 1, mem.TagCons)
+					cons := Alloc(nil, cur, ops, 1, 1, mem.TagCons)
 					WriteInitWord(ops, cons, 0, uint64(s*1000+i))
 					WriteInitPtr(ops, cons, 0, head)
 					head = cons
 				}
 				cell := cells[(s+i)%siblings]
-				WritePtr(cur, ops, cell, 0, head)
+				WritePtr(nil, cur, ops, cell, 0, head)
 
 				// Read some other cell through the master discipline.
 				got := ReadMutPtr(ops, cells[(s+i+1)%siblings], 0)
@@ -106,8 +106,8 @@ func TestConcurrentWritesDuringPromotion(t *testing.T) {
 		root := heap.NewRoot()
 		child := heap.NewChild(root)
 		var setup Counters
-		cell := Alloc(root, &setup, 1, 0, mem.TagRef)
-		obj := Alloc(child, &setup, 0, 1, mem.TagRef)
+		cell := Alloc(nil, root, &setup, 1, 0, mem.TagRef)
+		obj := Alloc(nil, child, &setup, 0, 1, mem.TagRef)
 		WriteInitWord(&setup, obj, 0, 1)
 
 		var wg sync.WaitGroup
@@ -115,7 +115,7 @@ func TestConcurrentWritesDuringPromotion(t *testing.T) {
 		go func() { // promoter (the child task publishing its object)
 			defer wg.Done()
 			var ops Counters
-			WritePtr(child, &ops, cell, 0, obj)
+			WritePtr(nil, child, &ops, cell, 0, obj)
 		}()
 		go func() { // writer racing the promotion through the old pointer
 			defer wg.Done()
@@ -142,7 +142,7 @@ func randGraph(h *heap.Heap, ops *Counters, rng *rand.Rand, n int) []mem.ObjPtr 
 		if i == 0 {
 			deg = 0
 		}
-		p := Alloc(h, ops, deg, 1, mem.TagTuple)
+		p := Alloc(nil, h, ops, deg, 1, mem.TagTuple)
 		WriteInitWord(ops, p, 0, uint64(i)*2654435761)
 		for j := 0; j < deg; j++ {
 			WriteInitPtr(ops, p, j, nodes[rng.Intn(i)])
@@ -185,8 +185,8 @@ func TestPromotionPreservesGraphs(t *testing.T) {
 
 		before := graphChecksum(top, map[uint64]int{}, new(int))
 
-		cell := Alloc(root, &ops, 1, 0, mem.TagRef)
-		WritePtr(child, &ops, cell, 0, top)
+		cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+		WritePtr(nil, child, &ops, cell, 0, top)
 		promoted := ReadMutPtr(&ops, cell, 0)
 
 		after := graphChecksum(promoted, map[uint64]int{}, new(int))

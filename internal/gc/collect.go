@@ -32,6 +32,12 @@ type Collector struct {
 	zone     []*heap.Heap
 	scan     []mem.ObjPtr
 	stats    Stats
+
+	// cache is the COLLECTING worker's chunk cache (nil when the collector
+	// runs off-worker): to-space chunks are acquired from it and from-space
+	// chunks are recycled into it, so a collection normally trades chunks
+	// with its own worker instead of the global directory.
+	cache *mem.ChunkCache
 }
 
 // NewCollector prepares a collection of the given zone. The zone must
@@ -105,7 +111,7 @@ func (c *Collector) copyObj(q mem.ObjPtr) mem.ObjPtr {
 				q, h, h.Depth(), c.topDepth))
 		}
 		numPtr, numNonptr, tag := mem.NumPtrFields(q), mem.NumNonptrWords(q), mem.TagOf(q)
-		fresh := to.FreshObj(numPtr, numNonptr, tag)
+		fresh := to.FreshObjVia(c.cache, numPtr, numNonptr, tag)
 		mem.StoreFwd(q, fresh)
 		mem.CopyBody(fresh, q)
 		c.stats.ObjectsCopied++
@@ -140,7 +146,7 @@ func (c *Collector) Finish() Stats {
 			reclaimed += int64(ch.Cap())
 		}
 		h.AdoptFrom(c.toSpace[h])
-		heap.FreeChunkList(old)
+		heap.RecycleChunkList(c.cache, old)
 		c.stats.WordsReclaimed += reclaimed
 	}
 	c.stats.WordsReclaimed -= c.stats.WordsCopied
@@ -151,7 +157,15 @@ func (c *Collector) Finish() Stats {
 // Collect runs a full collection of the zone with the given root slots.
 // Each slot is updated in place to the relocated pointer.
 func Collect(zone []*heap.Heap, roots []*mem.ObjPtr) Stats {
+	return CollectWith(nil, zone, roots)
+}
+
+// CollectWith is Collect with the collection's chunk traffic routed
+// through cc, the collecting worker's chunk cache: to-space chunks are
+// acquired from it and the reclaimed from-space is recycled into it.
+func CollectWith(cc *mem.ChunkCache, zone []*heap.Heap, roots []*mem.ObjPtr) Stats {
 	c := NewCollector(zone)
+	c.cache = cc
 	for _, r := range roots {
 		c.CopyRoot(r)
 	}

@@ -158,7 +158,11 @@ func (s *ZoneScheduler) Release(zone []*heap.Heap, family uint64) {
 
 // CollectZone runs one concurrent zone collection: admission, zone write
 // locks (canonical deepest-first order), the promotion-aware copy over the
-// given roots, then release. It returns the collection's statistics.
+// given roots, then release. cc is the collecting worker's chunk cache
+// (nil when the caller runs off-worker): to-space chunks come from it and
+// the swept from-space recycles into it, keeping the collection's chunk
+// traffic off the global directory. It returns the collection's
+// statistics.
 //
 // The write locks are what lets this run concurrently with everything
 // outside the zone: findMaster read-locks and promotion write-locks target
@@ -166,8 +170,8 @@ func (s *ZoneScheduler) Release(zone []*heap.Heap, family uint64) {
 // other tasks' root-paths disjoint from this zone — so in a correct
 // execution the locks are uncontended, and in an incorrect one (an
 // entangled pointer into the zone) they serialize instead of corrupting.
-func (s *ZoneScheduler) CollectZone(zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
-	return s.CollectSessionZone(0, zone, roots, kind)
+func (s *ZoneScheduler) CollectZone(cc *mem.ChunkCache, zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
+	return s.CollectSessionZone(cc, 0, zone, roots, kind)
 }
 
 // CollectSessionZone is CollectZone for a zone belonging to the root-level
@@ -175,7 +179,7 @@ func (s *ZoneScheduler) CollectZone(zone []*heap.Heap, roots []*mem.ObjPtr, kind
 // Zones of distinct sessions are always disjoint, so they admit and run
 // concurrently; the scheduler counts how many distinct sessions it actually
 // observed collecting at once (ZoneStats.MaxConcurrentSessions).
-func (s *ZoneScheduler) CollectSessionZone(family uint64, zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
+func (s *ZoneScheduler) CollectSessionZone(cc *mem.ChunkCache, family uint64, zone []*heap.Heap, roots []*mem.ObjPtr, kind ZoneKind) Stats {
 	z := make([]*heap.Heap, len(zone))
 	copy(z, zone)
 	heap.SortZone(z)
@@ -183,7 +187,7 @@ func (s *ZoneScheduler) CollectSessionZone(family uint64, zone []*heap.Heap, roo
 	s.Admit(z, family)
 	start := time.Now()
 	heap.LockZone(z)
-	st := Collect(z, roots)
+	st := CollectWith(cc, z, roots)
 	heap.UnlockZone(z)
 	dur := time.Since(start).Nanoseconds()
 	s.Release(z, family)

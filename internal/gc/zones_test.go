@@ -98,7 +98,7 @@ func TestCollectZoneCollectsAndCounts(t *testing.T) {
 	}
 
 	s := NewZoneScheduler(0)
-	stats := s.CollectZone([]*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+	stats := s.CollectZone(nil, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
 
 	checkList(t, live, 40, h)
 	if stats.ObjectsCopied != 40 {
@@ -118,7 +118,7 @@ func TestCollectZoneCollectsAndCounts(t *testing.T) {
 		t.Fatal("zone not released after collection")
 	}
 
-	s.CollectZone([]*heap.Heap{h}, []*mem.ObjPtr{&live}, JoinZone)
+	s.CollectZone(nil, []*heap.Heap{h}, []*mem.ObjPtr{&live}, JoinZone)
 	if zs := s.Snapshot(); zs.JoinZones != 1 || zs.Zones != 2 {
 		t.Fatalf("join zone not counted: %+v", zs)
 	}
@@ -131,7 +131,7 @@ func TestCollectZoneTakesWriteLocks(t *testing.T) {
 	before := h.LockStats().WriteAcquires
 
 	s := NewZoneScheduler(0)
-	s.CollectZone([]*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+	s.CollectZone(nil, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
 
 	if after := h.LockStats().WriteAcquires; after != before+1 {
 		t.Fatalf("write acquires %d -> %d, want one zone write lock", before, after)
@@ -171,8 +171,8 @@ func TestCollectSessionZoneCounts(t *testing.T) {
 	live := buildList(h, 8)
 
 	s := NewZoneScheduler(0)
-	s.CollectSessionZone(42, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
-	s.CollectZone([]*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+	s.CollectSessionZone(nil, 42, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
+	s.CollectZone(nil, []*heap.Heap{h}, []*mem.ObjPtr{&live}, LeafZone)
 
 	zs := s.Snapshot()
 	if zs.SessionZones != 1 {

@@ -141,11 +141,13 @@ func Join(parent, child *Heap) {
 	child.merged.Store(parent)
 }
 
-// grow appends a chunk able to hold at least need words. Chunk sizes grow
-// geometrically from MinChunkWords to DefaultChunkWords, so short-lived
-// leaf heaps stay tiny while allocation-heavy heaps amortize to large
-// chunks (the paper's fragmentation/locality trade-off).
-func (h *Heap) grow(need int) *mem.Chunk {
+// grow appends a chunk able to hold at least need words, acquired through
+// the recycling allocator (cc is the calling worker's chunk cache, nil when
+// the caller has none). Chunk sizes grow geometrically from MinChunkWords
+// to DefaultChunkWords, so short-lived leaf heaps stay tiny while
+// allocation-heavy heaps amortize to large chunks (the paper's
+// fragmentation/locality trade-off).
+func (h *Heap) grow(cc *mem.ChunkCache, need int) *mem.Chunk {
 	size := h.nextWords
 	if size < mem.MinChunkWords {
 		size = mem.MinChunkWords
@@ -156,7 +158,7 @@ func (h *Heap) grow(need int) *mem.Chunk {
 	if need > size {
 		size = need
 	}
-	c := mem.NewChunk(size)
+	c := mem.AcquireChunk(cc, size)
 	SetOwner(c.ID(), h)
 	if h.tail == nil {
 		h.head, h.tail = c, c
@@ -170,16 +172,26 @@ func (h *Heap) grow(need int) *mem.Chunk {
 }
 
 // FreshObj allocates an object with the given shape in h (paper's
-// freshObj). Fields start zeroed.
+// freshObj). Fields start zeroed. Chunk acquisition goes straight to the
+// global pool; hot paths that run on a worker use FreshObjVia with the
+// worker's cache instead.
 func (h *Heap) FreshObj(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
+	return h.FreshObjVia(nil, numPtr, numNonptr, tag)
+}
+
+// FreshObjVia is FreshObj with chunk acquisition routed through cc, the
+// CALLING worker's chunk cache (nil for no cache). Passing the caller's —
+// not the heap's — cache is what keeps cache access single-goroutine even
+// when the heap is a shared ancestor or a collection to-space.
+func (h *Heap) FreshObjVia(cc *mem.ChunkCache, numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 	need := mem.ObjectWords(numPtr, numNonptr)
 	c := h.tail
 	if c == nil {
-		c = h.grow(need)
+		c = h.grow(cc, need)
 	}
 	off, ok := c.Bump(uint32(need))
 	if !ok {
-		c = h.grow(need)
+		c = h.grow(cc, need)
 		off, ok = c.Bump(uint32(need))
 		if !ok {
 			panic(fmt.Sprintf("heap: fresh chunk cannot hold %d words", need))
@@ -229,14 +241,21 @@ func (h *Heap) AdoptFrom(twin *Heap) {
 	twin.head, twin.tail, twin.nChunks = nil, nil, 0
 }
 
-// FreeAllChunks releases every chunk owned by the heap (end of run, or the
-// from-space after a collection). The chunk list must already be detached
-// for from-spaces; pass the detached list head.
-func FreeChunkList(head *mem.Chunk) {
+// FreeChunkList releases a detached chunk list (end of run, or the
+// from-space after a collection) back to the recycling allocator's global
+// pool. Equivalent to RecycleChunkList with no worker cache.
+func FreeChunkList(head *mem.Chunk) { RecycleChunkList(nil, head) }
+
+// RecycleChunkList releases a detached chunk list through the recycling
+// allocator: each chunk's ownership and directory entries are invalidated
+// (stale ObjPtrs into it panic), then the slab is parked in cc — the
+// calling worker's cache — overflowing to the global pool and, past the
+// pool's high-water mark, to the OS.
+func RecycleChunkList(cc *mem.ChunkCache, head *mem.Chunk) {
 	for c := head; c != nil; {
 		next := c.Next
 		ClearOwner(c.ID())
-		mem.FreeChunk(c)
+		mem.RecycleChunk(cc, c)
 		c = next
 	}
 }

@@ -1,5 +1,7 @@
 package heap
 
+import "repro/internal/mem"
+
 // Super-root support: the serving layer runs many simultaneous root-level
 // subtrees ("sessions") under one process super-root heap. The super-root
 // tracks its attached children so the runtime can enumerate abandoned
@@ -58,17 +60,23 @@ func (h *Heap) AttachedCount() int {
 	return len(h.children)
 }
 
-// ReleaseWholesale frees every chunk of child in bulk — no merge, no copy,
-// no per-object work — and aliases child to parent so that any stale
-// descriptor reference resolves somewhere live. It returns the bytes of
-// chunk capacity released.
+// ReleaseWholesale releases every chunk of child in bulk — no merge, no
+// copy, no per-object work — and aliases child to parent so that any stale
+// descriptor reference resolves somewhere live. The chunks go back to the
+// recycling allocator, not the OS: cc is the calling worker's chunk cache
+// (nil when the caller has none), which takes the slabs first, overflowing
+// to the global size-classed pool — so the next request's heaps are built
+// from this request's chunks without touching the directory ID lock.
+// Every released chunk's directory entry is invalidated before the slab
+// can be reused; a surviving ObjPtr into the subtree panics in GetChunk.
+// It returns the bytes of chunk capacity released.
 //
 // The caller must guarantee that every task of child's subtree has
 // completed and that no live pointer (from parent or anywhere else) targets
 // an object in child: this is the serving layer's unpinned-session
 // contract. Heaps that were already merged away resolve to their live
 // target and release nothing here.
-func ReleaseWholesale(parent, child *Heap) int64 {
+func ReleaseWholesale(cc *mem.ChunkCache, parent, child *Heap) int64 {
 	parent = parent.Resolve()
 	child = child.Resolve()
 	if child == parent {
@@ -78,7 +86,7 @@ func ReleaseWholesale(parent, child *Heap) int64 {
 		panic("heap: wholesale release of a to-space")
 	}
 	bytes := child.CapWords() * 8
-	FreeChunkList(child.TakeChunks())
+	RecycleChunkList(cc, child.TakeChunks())
 	child.AllocSinceGC, child.LiveWords = 0, 0
 	child.merged.Store(parent)
 	return bytes

@@ -47,7 +47,7 @@ func TestReleaseWholesaleFreesChunksWithoutMerging(t *testing.T) {
 	wantBytes := child.CapWords() * 8
 
 	root.DetachChild(child)
-	got := ReleaseWholesale(root, child)
+	got := ReleaseWholesale(nil, root, child)
 	if got != wantBytes {
 		t.Fatalf("ReleaseWholesale returned %d bytes, want %d", got, wantBytes)
 	}
@@ -65,7 +65,7 @@ func TestReleaseWholesaleFreesChunksWithoutMerging(t *testing.T) {
 		t.Fatalf("chunks leaked: %d in use, want %d", mem.ChunksInUse(), base)
 	}
 	// Releasing again (now an alias of root) frees nothing.
-	if again := ReleaseWholesale(root, child); again != 0 {
+	if again := ReleaseWholesale(nil, root, child); again != 0 {
 		t.Fatalf("second release freed %d bytes, want 0", again)
 	}
 }
@@ -75,7 +75,7 @@ func TestReleaseWholesaleAfterJoinIsNoop(t *testing.T) {
 	child := NewChild(root)
 	child.FreshObj(0, 4, mem.TagTuple)
 	Join(root, child)
-	if n := ReleaseWholesale(root, child); n != 0 {
+	if n := ReleaseWholesale(nil, root, child); n != 0 {
 		t.Fatalf("release after join freed %d bytes, want 0 (chunks belong to the root now)", n)
 	}
 	FreeChunkList(root.TakeChunks())

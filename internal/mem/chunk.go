@@ -69,10 +69,15 @@ type dirSegment [dirSegSize]atomic.Pointer[Chunk]
 var (
 	chunkDir [dirSegs]atomic.Pointer[dirSegment]
 
-	idMu    sync.Mutex
-	idNext  uint32 = 1 // chunk ID 0 is reserved for nil
-	idFree  []uint32
-	idInUse int64
+	idMu   sync.Mutex
+	idNext uint32 = 1 // chunk ID 0 is reserved for nil
+	idFree []uint32
+
+	// idInUse counts registered chunks. Atomic rather than idMu-guarded:
+	// the recycling paths (pool.go) register and unregister chunks without
+	// touching idMu — the slab keeps its ID — so the gauge must not depend
+	// on the lock.
+	idInUse atomic.Int64
 )
 
 // GetChunk resolves a chunk ID. It returns nil for ID 0 and panics on a
@@ -100,7 +105,10 @@ func GetChunk(id uint32) *Chunk {
 }
 
 // NewChunk allocates and registers a chunk with the given payload capacity
-// in words, rounded up to MinChunkWords.
+// in words, rounded up to MinChunkWords. This is the fresh-allocation path:
+// it takes a new directory ID under idMu. Hot callers go through
+// AcquireChunk (pool.go), which recycles slabs — ID included — and reaches
+// here only when both the worker cache and the global pool come up empty.
 func NewChunk(words int) *Chunk {
 	if words < MinChunkWords {
 		words = MinChunkWords
@@ -118,8 +126,9 @@ func NewChunk(words int) *Chunk {
 			panic("mem: chunk ID space exhausted")
 		}
 	}
-	idInUse++
 	idMu.Unlock()
+	countDirIDOp()
+	idInUse.Add(1)
 
 	c := &Chunk{id: id, Data: make([]uint64, words)}
 	segIdx := id >> dirSegBits
@@ -137,9 +146,11 @@ func NewChunk(words int) *Chunk {
 	return c
 }
 
-// FreeChunk unregisters a chunk and returns its ID to the free list. Any
-// later access through a stale ObjPtr into this chunk panics in GetChunk.
-func FreeChunk(c *Chunk) {
+// unregisterChunk invalidates the chunk's directory entry, so any later
+// access through a stale ObjPtr panics in GetChunk, and a second release of
+// the same chunk panics here (its CAS finds the entry already invalid — or
+// pointing at the slab's NEXT life, which is a different Chunk object).
+func unregisterChunk(c *Chunk) {
 	seg := chunkDir[c.id>>dirSegBits].Load()
 	if seg == nil {
 		panic("mem: freeing chunk from unmapped segment")
@@ -148,25 +159,37 @@ func FreeChunk(c *Chunk) {
 		panic(fmt.Sprintf("mem: double free of chunk %d", c.id))
 	}
 	accountFree(int64(len(c.Data)) * 8)
+	idInUse.Add(-1)
 	if tombstonesOn {
 		tombMu.Lock()
 		tombstones[c.id] = string(debug.Stack())
 		tombMu.Unlock()
 	}
+}
+
+// releaseChunkID returns a chunk ID to the directory free list (hard frees
+// and pool high-water evictions; recycled slabs keep their IDs parked).
+func releaseChunkID(id uint32) {
 	idMu.Lock()
-	idFree = append(idFree, c.id)
-	idInUse--
+	idFree = append(idFree, id)
 	idMu.Unlock()
+	countDirIDOp()
+}
+
+// FreeChunk unregisters a chunk and returns its ID to the free list — the
+// hard-free path, bypassing the recycling tiers. Any later access through
+// a stale ObjPtr into this chunk panics in GetChunk.
+func FreeChunk(c *Chunk) {
+	unregisterChunk(c)
+	releaseChunkID(c.id)
 	c.Data = nil
 	c.Next = nil
 }
 
 // ChunksInUse reports the number of registered chunks (for leak tests).
-func ChunksInUse() int64 {
-	idMu.Lock()
-	defer idMu.Unlock()
-	return idInUse
-}
+// Slabs parked in worker caches or the global pool are unregistered and do
+// not count.
+func ChunksInUse() int64 { return idInUse.Load() }
 
 // memory accounting: liveBytes tracks bytes in registered chunks; highWater
 // is the maximum observed, used for the paper's memory-consumption and

@@ -9,6 +9,38 @@
 // A global two-level chunk directory resolves handles to chunks with two
 // atomic loads, mirroring MLton's address-masked chunk metadata lookup.
 //
+// # Chunk lifecycle: alloc → cache → pool → OS
+//
+// Chunks are recycled, not freed. The allocator (pool.go) has three tiers:
+//
+//	AcquireChunk:  worker cache → global size-classed pool → fresh OS alloc
+//	RecycleChunk:  worker cache → global size-classed pool → OS (high-water)
+//
+// Each scheduler worker owns a private ChunkCache (a few chunks per size
+// class, touched only by the worker's own goroutine), so the common case —
+// a leaf heap growing during request work, and a completed request's
+// subtree being released wholesale — trades chunks worker-locally with
+// ZERO shared-state operations. Overflow and cold flushes land in the
+// global pool (one short mutex hold); only when the pool is above its
+// high-water mark (SetChunkPoolLimit) does memory go back to the OS.
+//
+// A recycled slab keeps its directory ID parked with it, so the recycling
+// paths never touch the ID free list's lock; its directory ENTRY, however,
+// is invalidated on every release and re-asserted empty on every reuse.
+// Stale ObjPtrs into released chunks therefore panic in GetChunk exactly
+// as they do after a hard free, a double release fails its entry CAS and
+// panics, and each reuse wraps the slab in a fresh Chunk object so a stale
+// *Chunk cannot alias the slab's next life. Slabs park dirty and are
+// re-zeroed (used prefix only) on reuse, preserving the
+// objects-start-zeroed contract without charging destroyed slabs for it.
+//
+// AllocSnapshot reports the traffic of every tier — cache/pool hit rates,
+// fresh allocations, release destinations, and the idMu-serialized
+// directory ID operations the recycling design exists to avoid; hhbench
+// -table alloc turns two snapshots into the allocator's benchmark table.
+//
+// # Object layout
+//
 // Every object carries two metadata words:
 //
 //	word 0: header — packs the number of pointer fields, the number of

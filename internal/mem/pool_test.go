@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"testing"
+)
+
+// resetPool drains the global pool and restores the default limit, so
+// tests that count pool contents do not see other tests' slabs.
+func resetPool(t *testing.T) {
+	t.Helper()
+	SetChunkPoolLimit(DefaultPoolLimitBytes)
+	DrainChunkPool()
+	t.Cleanup(func() {
+		SetChunkPoolLimit(DefaultPoolLimitBytes)
+		DrainChunkPool()
+	})
+}
+
+func TestAcquireRoundsUpToClass(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, 100) // between 64 and 256
+	defer RecycleChunk(nil, c)
+	if got := int(c.Cap()); got != 4*MinChunkWords {
+		t.Fatalf("Cap = %d, want the 256-word class", got)
+	}
+	if GetChunk(c.ID()) != c {
+		t.Fatal("acquired chunk must be registered")
+	}
+}
+
+func TestRecycleReusesSlabAndID(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, MinChunkWords)
+	id := c.ID()
+	inUse := ChunksInUse()
+	live := LiveBytes()
+	RecycleChunk(nil, c)
+	if got := ChunksInUse(); got != inUse-1 {
+		t.Fatalf("ChunksInUse after recycle = %d, want %d (pooled slabs are unregistered)", got, inUse-1)
+	}
+	if got := LiveBytes(); got != live-int64(MinChunkWords*8) {
+		t.Fatalf("LiveBytes after recycle = %d, want %d", got, live-int64(MinChunkWords*8))
+	}
+	d := AcquireChunk(nil, MinChunkWords)
+	defer RecycleChunk(nil, d)
+	if d.ID() != id {
+		t.Fatalf("recycled slab should keep its ID: got %d, want %d", d.ID(), id)
+	}
+	if d == c {
+		t.Fatal("a recycled slab must be wrapped in a fresh Chunk object")
+	}
+}
+
+func TestRecycledSlabIsZeroed(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, MinChunkWords)
+	off, _ := c.Bump(8)
+	for i := uint32(0); i < 8; i++ {
+		c.Data[off+i] = ^uint64(0)
+	}
+	RecycleChunk(nil, c)
+	d := AcquireChunk(nil, MinChunkWords)
+	defer RecycleChunk(nil, d)
+	if d.Used() != 0 {
+		t.Fatalf("recycled chunk Used = %d, want 0", d.Used())
+	}
+	for i, w := range d.Data {
+		if w != 0 {
+			t.Fatalf("recycled chunk word %d = %#x, want 0 (objects rely on zeroed chunks)", i, w)
+		}
+	}
+}
+
+func TestDoubleRecyclePanics(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, MinChunkWords)
+	RecycleChunk(nil, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle must panic")
+		}
+	}()
+	RecycleChunk(nil, c)
+}
+
+// A chunk released and then reacquired gets a fresh Chunk object, so a
+// double release by the OLD owner must panic even though the slab (and its
+// directory entry) are live again under the new owner.
+func TestDoubleRecycleAfterReusePanics(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, MinChunkWords)
+	RecycleChunk(nil, c)
+	d := AcquireChunk(nil, MinChunkWords) // reuses c's slab and ID
+	defer RecycleChunk(nil, d)
+	if d.ID() != c.ID() {
+		t.Skip("slab was not reused; nothing to test")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale double recycle must panic, not steal the new owner's entry")
+		}
+	}()
+	RecycleChunk(nil, c)
+}
+
+func TestStaleObjPtrPanicsAfterRecycle(t *testing.T) {
+	resetPool(t)
+	c := AcquireChunk(nil, MinChunkWords)
+	off, _ := c.Bump(uint32(ObjectWords(1, 1)))
+	p := InitObject(c, off, 1, 1, TagTuple)
+	RecycleChunk(nil, c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access through a stale ObjPtr into a recycled chunk must panic")
+		}
+	}()
+	_ = NumPtrFields(p)
+}
+
+func TestWorkerCacheBounds(t *testing.T) {
+	resetPool(t)
+	cc := NewChunkCache(2)
+	var chunks []*Chunk
+	for i := 0; i < 5; i++ {
+		chunks = append(chunks, AcquireChunk(nil, MinChunkWords))
+	}
+	for _, c := range chunks {
+		RecycleChunk(cc, c)
+	}
+	if got := cc.HeldChunks(); got != 2 {
+		t.Fatalf("cache held %d chunks of one class, want its bound 2", got)
+	}
+	// The overflow went to the pool, not nowhere.
+	if PooledBytes() < int64(3*MinChunkWords*8) {
+		t.Fatalf("pool holds %d bytes, want at least the 3 overflow chunks", PooledBytes())
+	}
+	// Cache hits come back without touching the pool.
+	before := AllocSnapshot()
+	c := AcquireChunk(cc, MinChunkWords)
+	delta := AllocSnapshot().Sub(before)
+	if delta.CacheHits != 1 || delta.PoolHits != 0 || delta.FreshChunks != 0 {
+		t.Fatalf("acquire from warm cache: %+v, want exactly one cache hit", delta)
+	}
+	RecycleChunk(cc, c)
+	cc.Flush()
+	if cc.HeldChunks() != 0 || cc.HeldBytes() != 0 {
+		t.Fatalf("flushed cache still holds %d chunks / %d bytes", cc.HeldChunks(), cc.HeldBytes())
+	}
+}
+
+func TestPoolHighWaterReleasesToOS(t *testing.T) {
+	resetPool(t)
+	// Limit the pool to two minimum-class slabs.
+	SetChunkPoolLimit(2 * MinChunkWords * 8)
+	var chunks []*Chunk
+	for i := 0; i < 4; i++ {
+		chunks = append(chunks, AcquireChunk(nil, MinChunkWords))
+	}
+	before := AllocSnapshot()
+	for _, c := range chunks {
+		RecycleChunk(nil, c)
+	}
+	delta := AllocSnapshot().Sub(before)
+	if delta.ToPool != 2 || delta.ToOS != 2 {
+		t.Fatalf("recycle over high-water: ToPool=%d ToOS=%d, want 2 and 2", delta.ToPool, delta.ToOS)
+	}
+	if got := PooledBytes(); got > 2*MinChunkWords*8 {
+		t.Fatalf("PooledBytes = %d, want <= high-water %d", got, 2*MinChunkWords*8)
+	}
+	// Lowering the limit trims immediately.
+	SetChunkPoolLimit(0)
+	if got := PooledBytes(); got != 0 {
+		t.Fatalf("PooledBytes after disabling = %d, want 0", got)
+	}
+}
+
+func TestDrainChunkPool(t *testing.T) {
+	resetPool(t)
+	var chunks []*Chunk
+	for i := 0; i < 3; i++ {
+		chunks = append(chunks, AcquireChunk(nil, MinChunkWords))
+	}
+	for _, c := range chunks {
+		RecycleChunk(nil, c)
+	}
+	if PooledBytes() == 0 {
+		t.Fatal("expected slabs in the pool before draining")
+	}
+	if n := DrainChunkPool(); n != 3 {
+		t.Fatalf("drained %d chunks, want 3", n)
+	}
+	if got := PooledBytes(); got != 0 {
+		t.Fatalf("PooledBytes after drain = %d, want 0", got)
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	resetPool(t)
+	before := AllocSnapshot()
+	c := AcquireChunk(nil, 3*DefaultChunkWords) // beyond the largest class
+	if int(c.Cap()) != 3*DefaultChunkWords {
+		t.Fatalf("oversize request must be exact: got %d words", c.Cap())
+	}
+	RecycleChunk(nil, c)
+	delta := AllocSnapshot().Sub(before)
+	if delta.Oversize != 1 || delta.ToPool != 0 || delta.ToCache != 0 {
+		t.Fatalf("oversize chunk must bypass the recycling tiers: %+v", delta)
+	}
+}
+
+func TestSizeClassesCoverGeometricGrowth(t *testing.T) {
+	// heap.grow produces 64, 256, 1024, 4096, 16384 (and DefaultChunkWords
+	// for direct requests); every one must be an exact class so the runtime's
+	// own chunks always recycle.
+	for _, w := range []int{64, 256, 1024, 4096, 8192, 16384} {
+		if classOfExact(w) < 0 {
+			t.Fatalf("chunk size %d words is not an exact size class", w)
+		}
+	}
+	if classFor(2*DefaultChunkWords+1) != -1 {
+		t.Fatal("requests beyond the largest class must be oversize")
+	}
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+	"repro/internal/mem"
+)
+
+// AllocTable benchmarks the recycling allocator under serving load: the
+// same closed-loop request mix as ServeTable, driven twice per runtime
+// system — once with the size-classed chunk pool and per-worker caches
+// enabled (the default) and once with recycling disabled (every chunk
+// release a hard free, every acquisition a fresh allocation). For each run
+// it reports where chunk acquisitions were served (worker cache, global
+// pool, fresh memory), where releases landed, and the chunk-directory ID
+// operations — the idMu-serialized global work the pool exists to avoid —
+// in total and per request.
+//
+// Reading it: "cache%" + "pool%" is the recycle rate; with pooling on it
+// should approach 100% once the pool warms up, and "dirops/req" should be
+// a small fraction of the pooling-off row, which pays two directory ID
+// operations for every chunk it ever allocates.
+func AllocTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	mix, err := load.ParseMix("kv=2,bfs=1,hist=1")
+	if err != nil {
+		return err
+	}
+	sessions := 2 * o.Procs
+	if sessions < 8 {
+		sessions = 8
+	}
+	requests, size := 24*sessions, 1200
+	if o.Paper {
+		requests *= 4
+	}
+	if runtime.GOMAXPROCS(0) < o.Procs {
+		runtime.GOMAXPROCS(o.Procs) // let in-flight sessions overlap in wall time
+	}
+
+	header := []string{"system", "pool", "req/s", "chunks", "cache%", "pool%",
+		"fresh", "to-OS", "dirops", "dirops/req"}
+	var rows [][]string
+	var failures []string
+	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
+		for _, pooled := range []bool{true, false} {
+			opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(o.Procs),
+				hh.WithGCPolicy(2048, 1.25)}
+			label := "on"
+			if !pooled {
+				opts = append(opts, hh.WithoutChunkPool())
+				label = "off"
+			}
+			// Every measured run starts from a cold pool, so rows are
+			// comparable to each other and the table is reproducible
+			// regardless of what ran before it.
+			mem.DrainChunkPool()
+			r := hh.New(opts...)
+			srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
+			res := load.Drive(srv, mix, sessions, requests, size, nil)
+			st := srv.Stats()
+			al := r.Stats().Alloc
+			r.Close()
+
+			if res.Failures > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"VALIDATION FAILURE: %d request(s) failed on %s (pool %s)",
+					res.Failures, mode, label))
+			}
+			rows = append(rows, []string{
+				mode.String(), label,
+				fmt.Sprintf("%.0f", st.Throughput),
+				fmt.Sprintf("%d", al.Acquires+al.Oversize),
+				fmtPct(al.CacheHitRate()),
+				fmtPct(al.PoolHitRate()),
+				fmt.Sprintf("%d", al.FreshChunks+al.Oversize),
+				fmt.Sprintf("%d", al.ToOS),
+				fmt.Sprintf("%d", al.DirIDOps),
+				fmtPerReq(al.DirIDOps, st.Finished()),
+			})
+		}
+	}
+	tab := Table{Table: "alloc", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Allocator: chunk recycling under serving load at P=%d (%d in-flight, pool on vs off)",
+			o.Procs, sessions)}
+	return o.emit(w, tab)
+}

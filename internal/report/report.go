@@ -166,6 +166,14 @@ func fmtPct(f float64) string {
 	return fmt.Sprintf("%.1f%%", 100*f)
 }
 
+// fmtPerReq formats a per-request rate, guarding the idle-server case.
+func fmtPerReq(n, requests int64) string {
+	if requests == 0 {
+		requests = 1
+	}
+	return fmt.Sprintf("%.2f", float64(n)/float64(requests))
+}
+
 type mismatch struct {
 	bench  string
 	system string

@@ -8,6 +8,7 @@ import (
 	"repro/hh"
 	"repro/hh/serve"
 	"repro/internal/load"
+	"repro/internal/mem"
 )
 
 // ServeTable benchmarks the serving layer: a closed loop of mixed requests
@@ -34,9 +35,15 @@ func ServeTable(w io.Writer, o Options) error {
 	if runtime.GOMAXPROCS(0) < o.Procs {
 		runtime.GOMAXPROCS(o.Procs) // let disjoint session collections overlap in wall time
 	}
+	// Start from a cold chunk pool so the table does not depend on what
+	// earlier tables left pooled; within the table, later systems running
+	// against the pool warmed by earlier ones is the steady-state story the
+	// recycle% column tells.
+	mem.DrainChunkPool()
 
 	header := []string{"system", "req", "elapsed(s)", "req/s", "p50(ms)", "p99(ms)",
-		"peak-sess", "wholesale(MB)", "merged(MB)", "sess-zones", "cc-sess"}
+		"peak-sess", "wholesale(MB)", "merged(MB)", "sess-zones", "cc-sess",
+		"recycle%", "dirops/req"}
 	var rows [][]string
 	var failures []string
 	var refSum uint64
@@ -72,6 +79,8 @@ func ServeTable(w io.Writer, o Options) error {
 			fmt.Sprintf("%.1f", float64(st.MergedBytes)/(1<<20)),
 			fmt.Sprintf("%d", rt.Zones.SessionZones),
 			fmt.Sprintf("%d", rt.Zones.MaxConcurrentSessions),
+			fmtPct(rt.Alloc.RecycleRate()),
+			fmtPerReq(rt.Alloc.DirIDOps, st.Finished()),
 		})
 	}
 	tab := Table{Table: "serve", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,

@@ -51,6 +51,21 @@ type Config struct {
 	// DisableGC turns collection off entirely (for GC-overhead ablations).
 	DisableGC bool
 
+	// DisableChunkPool turns the recycling allocator off: released chunks
+	// go back to the Go allocator, every acquisition is a fresh make, and
+	// workers get no chunk caches. The ablation that measures what
+	// recycling buys (hhbench -table alloc reports both sides).
+	DisableChunkPool bool
+
+	// PoolLimitBytes is the global chunk pool's high-water mark: recycled
+	// chunks past it are released to the OS. 0 means
+	// mem.DefaultPoolLimitBytes. Process-global, like the chunk directory.
+	PoolLimitBytes int64
+
+	// CacheChunksPerClass bounds each worker's private chunk cache, in
+	// chunks per size class. 0 means mem.DefaultCacheChunksPerClass.
+	CacheChunksPerClass int
+
 	// NoWritePtrFastPath forces every pointer write through the master-copy
 	// lookup (ablation of the paper's local-update fast path, §3.3).
 	NoWritePtrFastPath bool

@@ -321,7 +321,7 @@ func (r *Runtime) runStolen(fr *frame, g Thunk, thief *sched.Worker) {
 		if r.cfg.Mode == Manticore && !res.IsNil() && heap.Of(res).Depth() > 0 {
 			// Result communication to another worker promotes the result's
 			// object graph to the shared global heap (DLG invariant).
-			res = core.PromoteTo(&st.Ops, r.rootHeap, res)
+			res = core.PromoteTo(st.chunkCache(), &st.Ops, r.rootHeap, res)
 		}
 		fr.result = res
 	})
@@ -353,7 +353,7 @@ func (r *Runtime) stolenEnv(fr *frame, st *Task) mem.ObjPtr {
 		// The thief works on the promoted copy; the victim's inline arm
 		// keeps using the original (fr.env is not written back — the
 		// parent reads it concurrently for the left arm).
-		env = core.PromoteTo(&st.Ops, r.rootHeap, env)
+		env = core.PromoteTo(st.chunkCache(), &st.Ops, r.rootHeap, env)
 	}
 	ws.localMu.Unlock()
 	return env

@@ -95,7 +95,7 @@ func (r *Runtime) triggerSTW(t *Task) {
 		roots = append(roots, task.roots...)
 	}
 	r.mu.Unlock()
-	stats := gc.Collect(zone, roots)
+	stats := gc.CollectWith(t.chunkCache(), zone, roots)
 	r.stwLastLive.Store(mem.LiveBytes() - r.baselineBytes)
 	t.gcStats.Add(stats)
 	t.gcNanos += time.Since(start).Nanoseconds()

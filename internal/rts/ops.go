@@ -26,7 +26,7 @@ func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 		if !r.cfg.DisableGC && r.cfg.Policy.ShouldCollect(h) {
 			t.collectZone([]*heap.Heap{h}, gc.LeafZone)
 		}
-		return core.Alloc(h, &t.Ops, numPtr, numNonptr, tag)
+		return core.Alloc(t.chunkCache(), h, &t.Ops, numPtr, numNonptr, tag)
 	case STW:
 		if r.gcFlag.Load() {
 			t.stopForGCTask()
@@ -34,13 +34,13 @@ func (t *Task) Alloc(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 		if !r.cfg.DisableGC && r.stwShouldCollect() {
 			r.triggerSTW(t)
 		}
-		return core.Alloc(t.ws.heap, &t.Ops, numPtr, numNonptr, tag)
+		return core.Alloc(t.chunkCache(), t.ws.heap, &t.Ops, numPtr, numNonptr, tag)
 	default: // Manticore
 		h := t.ws.heap
 		if !r.cfg.DisableGC && r.cfg.Policy.ShouldCollect(h) {
 			t.collectLocal()
 		}
-		return core.Alloc(h, &t.Ops, numPtr, numNonptr, tag)
+		return core.Alloc(t.chunkCache(), h, &t.Ops, numPtr, numNonptr, tag)
 	}
 }
 
@@ -58,7 +58,7 @@ func (t *Task) AllocMut(numPtr, numNonptr int, tag mem.Tag) mem.ObjPtr {
 		t.allocGate(mem.ObjectWords(numPtr, numNonptr))
 		g := r.rootHeap
 		g.Lock(heap.WRITE)
-		p := core.Alloc(g, &t.Ops, numPtr, numNonptr, tag)
+		p := core.Alloc(t.chunkCache(), g, &t.Ops, numPtr, numNonptr, tag)
 		g.Unlock()
 		return p
 	}
@@ -136,12 +136,12 @@ func (t *Task) WritePtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
 	switch t.rt.cfg.Mode {
 	case ParMem:
 		if t.rt.cfg.NoWritePtrFastPath {
-			core.WritePtrSlow(&t.Ops, p, i, q)
+			core.WritePtrSlow(t.chunkCache(), &t.Ops, p, i, q)
 			return
 		}
-		core.WritePtr(t.sh.Current(), &t.Ops, p, i, q)
+		core.WritePtr(t.chunkCache(), t.sh.Current(), &t.Ops, p, i, q)
 	case Manticore:
-		core.WritePtr(t.ws.heap, &t.Ops, p, i, q)
+		core.WritePtr(t.chunkCache(), t.ws.heap, &t.Ops, p, i, q)
 	case Seq:
 		t.Ops.WritePtrFast++
 		mem.StorePtrField(p, i, q)

@@ -38,6 +38,8 @@ type Runtime struct {
 
 	gcNanos       atomic.Int64
 	baselineBytes int64
+	baselineAlloc mem.AllocStats
+	prevPoolLimit int64 // pool limit before New overrode it; Close restores
 
 	// Session accounting (session.go): every unit of work — including a
 	// plain Run — executes as a root-level session.
@@ -96,6 +98,21 @@ func New(cfg Config) *Runtime {
 	r.baselineBytes = mem.LiveBytes()
 	mem.ResetHighWater()
 
+	// Recycling allocator: configure the process-global pool (safe — only
+	// one Runtime is ever active) and remember the counter baseline so
+	// Stats reports this runtime's allocator traffic, not the process's.
+	// The limit applies for this runtime's lifetime: Close restores the
+	// previous one, so an ablation runtime cannot leak pooling-off state.
+	r.prevPoolLimit = mem.ChunkPoolLimit()
+	if cfg.DisableChunkPool {
+		mem.SetChunkPoolLimit(0)
+	} else if cfg.PoolLimitBytes > 0 {
+		mem.SetChunkPoolLimit(cfg.PoolLimitBytes)
+	} else {
+		mem.SetChunkPoolLimit(mem.DefaultPoolLimitBytes)
+	}
+	r.baselineAlloc = mem.AllocSnapshot()
+
 	if cfg.Mode != STW {
 		maxZones := cfg.MaxConcurrentZones
 		if maxZones <= 0 {
@@ -119,7 +136,11 @@ func New(cfg Config) *Runtime {
 		// worker heaps only
 	}
 
-	r.pool = sched.NewPool(cfg.Procs)
+	var poolOpts []sched.PoolOption
+	if !cfg.DisableChunkPool {
+		poolOpts = append(poolOpts, sched.WithChunkCaches(cfg.CacheChunksPerClass))
+	}
+	r.pool = sched.NewPool(cfg.Procs, poolOpts...)
 	r.states = make([]*workerState, cfg.Procs)
 	for i, w := range r.pool.Workers() {
 		ws := &workerState{tasks: make(map[*Task]struct{})}
@@ -228,6 +249,13 @@ type Totals struct {
 	// peak concurrency, and bytes reclaimed wholesale versus merged into
 	// the super-root by pinned sessions.
 	Sessions SessionTotals
+
+	// Alloc describes the recycling allocator's traffic during this
+	// runtime's lifetime: chunk acquisitions by tier (worker cache, global
+	// pool, fresh), releases by destination, and the idMu-serialized
+	// directory ID operations the pool avoided. The pool gauges
+	// (PooledChunks/PooledBytes) are point-in-time.
+	Alloc mem.AllocStats
 }
 
 // Stats returns aggregate statistics. Call after Run completes.
@@ -247,6 +275,7 @@ func (r *Runtime) Stats() Totals {
 	if r.zones != nil {
 		t.Zones = r.zones.Snapshot()
 	}
+	t.Alloc = mem.AllocSnapshot().Sub(r.baselineAlloc)
 	t.Sessions = SessionTotals{
 		Submitted:      r.sessTotals.Submitted.Load(),
 		Completed:      r.sessTotals.Completed.Load(),
@@ -287,6 +316,14 @@ func (r *Runtime) Close() {
 	}
 	if r.pool != nil {
 		r.pool.Close()
+		// The workers have exited (Close waited on them), so their chunk
+		// caches are safe to flush from here: a closed runtime must not sit
+		// on warm chunks the next runtime's workers cannot reach.
+		for _, w := range r.pool.Workers() {
+			if w.Chunks != nil {
+				w.Chunks.Flush()
+			}
+		}
 	}
 	for _, ws := range r.states {
 		if ws.heap != nil && ws.heap.IsAlive() {
@@ -298,11 +335,12 @@ func (r *Runtime) Close() {
 		// drain first; this is the backstop against chunk leaks).
 		for _, c := range r.rootHeap.AttachedChildren() {
 			r.rootHeap.DetachChild(c)
-			heap.ReleaseWholesale(r.rootHeap, c)
+			heap.ReleaseWholesale(nil, r.rootHeap, c)
 		}
 		if r.rootHeap.IsAlive() {
 			heap.FreeChunkList(r.rootHeap.TakeChunks())
 		}
 	}
+	mem.SetChunkPoolLimit(r.prevPoolLimit)
 	activeRuntime.Store(false)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/heap"
+	"repro/internal/mem"
 	"repro/internal/sched"
 )
 
@@ -236,7 +237,7 @@ func (s *Session) runRoot(w *sched.Worker, fn func(*Task) uint64) {
 		}
 		time.Sleep(20 * time.Microsecond)
 	}
-	s.reclaim(res)
+	s.reclaim(w, res)
 }
 
 // guard runs body on task t, converting a panic — the session's own code,
@@ -263,9 +264,16 @@ func (s *Session) protect(t *Task, fn func(*Task) uint64) (res uint64) {
 }
 
 // reclaim releases (or, pinned, merges) the session subtree and publishes
-// the session's completion.
-func (s *Session) reclaim(res uint64) {
+// the session's completion. It runs on worker w (nil in Seq mode), whose
+// chunk cache receives the released chunks first — the per-request reuse
+// path: the chunks of the request that just finished become the chunks of
+// whatever this worker runs next, with no directory traffic at all.
+func (s *Session) reclaim(w *sched.Worker, res uint64) {
 	r := s.r
+	var cc *mem.ChunkCache
+	if w != nil {
+		cc = w.Chunks
+	}
 	s.mu.Lock()
 	err := s.err
 	heaps := s.heaps
@@ -290,7 +298,7 @@ func (s *Session) reclaim(res uint64) {
 		// orphaned mid-unwind. Heaps already merged away free nothing.
 		var freed int64
 		for _, h := range heaps {
-			freed += heap.ReleaseWholesale(r.rootHeap, h)
+			freed += heap.ReleaseWholesale(cc, r.rootHeap, h)
 		}
 		s.wholesaleBytes = freed
 	}

@@ -99,6 +99,18 @@ func (t *Task) CurrentHeap() *heap.Heap {
 	return t.ws.heap
 }
 
+// chunkCache returns the chunk cache of the worker this task is currently
+// executing on (nil in Seq mode, whose sessions run on plain goroutines).
+// Allocation, collection, and release paths thread it down so chunk
+// traffic stays worker-local; because it is resolved per call from t.w,
+// the cache is only ever touched by its owning worker's goroutine.
+func (t *Task) chunkCache() *mem.ChunkCache {
+	if t.w == nil {
+		return nil
+	}
+	return t.w.Chunks
+}
+
 // collectLocal collects the worker-local heap in Manticore mode, rooted by
 // every task hosted on this worker (all suspended except the caller). The
 // local lock excludes cross-worker promotions out of this heap; routing
@@ -113,7 +125,7 @@ func (t *Task) collectLocal() {
 	for ht := range ws.tasks {
 		roots = append(roots, ht.roots...)
 	}
-	stats := t.rt.zones.CollectZone([]*heap.Heap{ws.heap}, roots, gc.LeafZone)
+	stats := t.rt.zones.CollectZone(t.chunkCache(), []*heap.Heap{ws.heap}, roots, gc.LeafZone)
 	ws.localMu.Unlock()
 	t.gcNanos += time.Since(start).Nanoseconds()
 	t.gcStats.Add(stats)

@@ -47,7 +47,7 @@ func (t *Task) collectZone(zone []*heap.Heap, kind gc.ZoneKind) {
 	if t.ses != nil {
 		fam = t.ses.id
 	}
-	stats := t.rt.zones.CollectSessionZone(fam, zone, t.roots, kind)
+	stats := t.rt.zones.CollectSessionZone(t.chunkCache(), fam, zone, t.roots, kind)
 	t.gcNanos += time.Since(start).Nanoseconds()
 	t.gcStats.Add(stats)
 }

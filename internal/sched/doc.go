@@ -20,4 +20,18 @@
 // and park nobody: while one worker collects, the others keep executing
 // frames and stealing — including from the collecting worker's deque,
 // whose published frames stay stealable throughout the collection.
+//
+// # Worker chunk caches
+//
+// Each Worker optionally owns a private mem.ChunkCache (WithChunkCaches),
+// the fast tier of the runtime's chunk lifecycle (alloc → cache → pool →
+// OS, see package mem): heap growth on this worker acquires chunks from it
+// and completed work releases chunks into it, with no synchronization,
+// because only the worker's own goroutine ever touches its cache. The
+// runtime threads the cache of the worker a task is CURRENTLY running on
+// through allocation, collection, and release paths — a frame that is
+// stolen simply starts trading chunks with its thief's cache instead. A
+// worker that stays idle past a threshold flushes its cache back to the
+// shared pool, so a drained server's chunks migrate to whichever workers
+// take the next burst of load.
 package sched

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/mem"
 )
 
 // Frame is one stealable unit of work: the right-hand side of a forkjoin
@@ -39,6 +41,15 @@ type Worker struct {
 	Steals int64
 	// Local is runtime-layer per-worker state (allocation heap, etc.).
 	Local any
+
+	// Chunks is this worker's private chunk cache (nil when the pool was
+	// built without caches). Only this worker's goroutine may touch it —
+	// the runtime threads it through allocation, promotion, collection,
+	// and wholesale-release paths executing ON this worker, which is what
+	// makes leaf-heap chunk acquisition free of shared-state operations.
+	// A worker that stays idle long enough flushes it back to the global
+	// pool so cold workers do not sit on warm chunks.
+	Chunks *mem.ChunkCache
 }
 
 // Pool runs a fixed set of workers.
@@ -65,8 +76,23 @@ func (p *Pool) callSafePoint(w *Worker) {
 	}
 }
 
+// PoolOption configures a Pool under construction.
+type PoolOption func(*Pool)
+
+// WithChunkCaches gives every worker a private chunk cache bounded at
+// perClass chunks per size class (≤ 0 selects the mem package default).
+// The caches are installed before the workers start, so no synchronization
+// guards the field.
+func WithChunkCaches(perClass int) PoolOption {
+	return func(p *Pool) {
+		for _, w := range p.workers {
+			w.Chunks = mem.NewChunkCache(perClass)
+		}
+	}
+}
+
 // NewPool creates and starts p workers.
-func NewPool(p int) *Pool {
+func NewPool(p int, opts ...PoolOption) *Pool {
 	if p < 1 {
 		p = 1
 	}
@@ -74,6 +100,9 @@ func NewPool(p int) *Pool {
 	pool.workers = make([]*Worker, p)
 	for i := range pool.workers {
 		pool.workers[i] = &Worker{ID: i, pool: pool, rng: uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+	}
+	for _, opt := range opts {
+		opt(pool)
 	}
 	for _, w := range pool.workers {
 		pool.wg.Add(1)
@@ -201,6 +230,13 @@ func (w *Worker) nextRand() uint64 {
 	return x
 }
 
+// coldTrimRounds is how many consecutive empty find-work rounds a worker
+// tolerates before flushing its chunk cache back to the global pool: long
+// enough that a worker briefly between frames keeps its chunks, short
+// enough (~100 ms of deep idling) that a drained server's chunks become
+// available to whichever workers take the next burst.
+const coldTrimRounds = 1024
+
 func (w *Worker) idleWait(rounds int) {
 	switch {
 	case rounds < 32:
@@ -208,6 +244,9 @@ func (w *Worker) idleWait(rounds int) {
 	case rounds < 64:
 		time.Sleep(time.Microsecond)
 	default:
+		if rounds == coldTrimRounds && w.Chunks != nil {
+			w.Chunks.Flush() // cold: return cached chunks to the shared pool
+		}
 		time.Sleep(100 * time.Microsecond)
 	}
 }

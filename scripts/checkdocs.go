@@ -1,0 +1,106 @@
+//go:build ignore
+
+// Command checkdocs validates the repository's markdown cross-references:
+// every relative link target in the given files must exist, and every
+// fragment (#anchor) must match a heading in the target file, using
+// GitHub's heading-slug rules. CI runs it as the docs job:
+//
+//	go run ./scripts/checkdocs.go README.md DESIGN.md TUNING.md
+//
+// External links (http/https/mailto) are not fetched.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	linkRe    = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	headingRe = regexp.MustCompile("(?m)^#{1,6}[ \t]+(.+?)[ \t]*$")
+	codeRe    = regexp.MustCompile("(?s)```.*?```")
+	inlineRe  = regexp.MustCompile("`[^`]*`")
+	slugDrop  = regexp.MustCompile(`[^a-z0-9 _-]`)
+)
+
+// slug approximates GitHub's heading-anchor algorithm.
+func slug(h string) string {
+	h = inlineRe.ReplaceAllStringFunc(h, func(s string) string { return strings.Trim(s, "`") })
+	h = strings.ToLower(h)
+	h = slugDrop.ReplaceAllString(h, "")
+	return strings.ReplaceAll(h, " ", "-")
+}
+
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := codeRe.ReplaceAllString(string(data), "")
+	out := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(text, -1) {
+		out[slug(m[1])] = true
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkdocs FILE.md...")
+		os.Exit(2)
+	}
+	anchorCache := map[string]map[string]bool{}
+	bad := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		text := codeRe.ReplaceAllString(string(data), "")
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: broken link %q: %v\n", file, target, err)
+					bad++
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // fragments into non-markdown files are not checkable
+			}
+			anchors, ok := anchorCache[resolved]
+			if !ok {
+				anchors, err = anchorsOf(resolved)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				anchorCache[resolved] = anchors
+			}
+			if !anchors[frag] {
+				fmt.Fprintf(os.Stderr, "%s: broken anchor %q (no heading slug %q in %s)\n",
+					file, target, frag, resolved)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkdocs: %d broken reference(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: all markdown links and anchors resolve")
+}
