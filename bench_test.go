@@ -189,9 +189,9 @@ func BenchmarkFig8Ops(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationWritePtrFastPath quantifies the local-update fast path
-// the paper's implementation prioritizes (§3.3): tourney performs one
-// mutable pointer write per contestant, all local.
+// BenchmarkAblationWritePtrFastPath quantifies the write-barrier fast
+// paths the paper's implementation prioritizes (§3.3): tourney performs
+// one mutable pointer write per contestant, all local.
 func BenchmarkAblationWritePtrFastPath(b *testing.B) {
 	bm, err := bench.ByName("tourney")
 	if err != nil {
@@ -204,7 +204,7 @@ func BenchmarkAblationWritePtrFastPath(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := rts.DefaultConfig(rts.ParMem, runtime.NumCPU())
-			cfg.NoWritePtrFastPath = off
+			cfg.NoBarrierFastPath = off
 			sc := benchScale("tourney")
 			for i := 0; i < b.N; i++ {
 				bench.Run(bm, cfg, sc)

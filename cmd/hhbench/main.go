@@ -11,6 +11,7 @@
 //	hhbench -table zones              # zone-collection concurrency (parmem)
 //	hhbench -table serve              # serving-layer throughput/latency (all systems)
 //	hhbench -table alloc              # chunk-pool/cache recycling, pool on vs off
+//	hhbench -table promote            # write-barrier mix + promotion cost, fast paths on vs off
 //	hhbench -table all                # everything
 //	hhbench -bench msort,usp-tree ... # subset of benchmarks
 //	hhbench -paper                    # the paper's original problem sizes
@@ -55,7 +56,7 @@ func resolveCommit() string {
 }
 
 func main() {
-	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|alloc|all")
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|alloc|promote|all")
 	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	names := flag.String("bench", "", "comma-separated benchmark subset")
@@ -107,6 +108,8 @@ func main() {
 			run(tb, func() error { return report.ServeTable(w, opts) })
 		case "alloc":
 			run(tb, func() error { return report.AllocTable(w, opts) })
+		case "promote":
+			run(tb, func() error { return report.PromoteTable(w, opts) })
 		case "all":
 			run("fig8", func() error { return report.Fig8(w, opts, *iters) })
 			run("fig9", func() error { return report.Fig9(w, opts) })
@@ -117,6 +120,7 @@ func main() {
 			run("zones", func() error { return report.ZoneTable(w, opts) })
 			run("serve", func() error { return report.ServeTable(w, opts) })
 			run("alloc", func() error { return report.AllocTable(w, opts) })
+			run("promote", func() error { return report.PromoteTable(w, opts) })
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %q\n", tb)
 			os.Exit(2)

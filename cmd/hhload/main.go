@@ -1,13 +1,17 @@
 // Command hhload is the closed-loop load generator for the serving layer:
 // N client goroutines drive a weighted scenario mix (kv-churn, bfs query,
-// histogram) through an hh/serve.Server, each request running as its own
-// root-level session that is reclaimed wholesale at completion.
+// histogram, fan-out publish) through an hh/serve.Server, each request
+// running as its own root-level session that is reclaimed wholesale at
+// completion.
 //
 //	hhload -mode all -procs 4 -sessions 8 -requests 96
+//	hhload -mode parmem -mix fan=1 -promote-buffer 1   # batching ablation
+//	hhload -mode all -nofastpath                       # barrier ablation
 //
 // For every runtime mode it reports serving statistics (throughput,
-// latency quantiles, peak concurrency), the runtime's session and
-// zone-concurrency counters, and it FAILS (exit 1) if any request
+// latency quantiles, peak concurrency), the runtime's session,
+// zone-concurrency, allocator, and write-barrier counters, and it FAILS
+// (exit 1) if any request
 // miscomputes, if the per-request checksum stream diverges between modes,
 // if chunk occupancy does not return to baseline after Drain, or if parmem
 // never collected two session subtrees concurrently (disable with
@@ -39,6 +43,10 @@ func main() {
 	minZoneSessions := flag.Int64("min-zone-sessions", 2,
 		"fail unless parmem observes this many sessions collecting concurrently (0 = off)")
 	noPool := flag.Bool("nopool", false, "disable the chunk pool / worker caches (recycling ablation)")
+	noFast := flag.Bool("nofastpath", false,
+		"force every pointer write through the master-copy lookup (barrier fast-path ablation)")
+	promoteBuf := flag.Int("promote-buffer", 0,
+		"staged pointees per promotion lock climb (0 = default 32, 1 = no batching)")
 	flag.Parse()
 
 	// The pool simulates *procs processors; give the Go scheduler at least
@@ -70,7 +78,7 @@ func main() {
 	var refMode string
 	for _, mode := range modes {
 		sum, ok := driveMode(mode, *procs, *sessions, *requests, *size, mix, *budget,
-			*gcMin, *gcRatio, *minZoneSessions, *noPool)
+			*gcMin, *gcRatio, *minZoneSessions, *noPool, *noFast, *promoteBuf)
 		if !ok {
 			failed = true
 		}
@@ -97,11 +105,18 @@ func main() {
 // driveMode runs one closed loop against one runtime mode and returns the
 // order-independent checksum of the whole request stream.
 func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
-	budget, gcMin int64, gcRatio float64, minZoneSessions int64, noPool bool) (uint64, bool) {
+	budget, gcMin int64, gcRatio float64, minZoneSessions int64,
+	noPool, noFast bool, promoteBuf int) (uint64, bool) {
 
 	opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(gcMin, gcRatio)}
 	if noPool {
 		opts = append(opts, hh.WithoutChunkPool())
+	}
+	if noFast {
+		opts = append(opts, hh.WithoutBarrierFastPath())
+	}
+	if promoteBuf != 0 {
+		opts = append(opts, hh.WithPromoteBufferObjects(promoteBuf))
 	}
 	r := hh.New(opts...)
 	defer r.Close()
@@ -139,6 +154,21 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 		rt.Alloc.Acquires+rt.Alloc.Oversize, 100*rt.Alloc.CacheHitRate(), 100*rt.Alloc.PoolHitRate(),
 		rt.Alloc.FreshChunks+rt.Alloc.Oversize, rt.Alloc.DirIDOps,
 		float64(rt.Alloc.DirIDOps)/float64(done), rt.Alloc.PooledBytes>>10)
+	ops := rt.Ops
+	if pw := ops.PtrWrites(); pw > 0 {
+		wPerClimb := 0.0
+		if ops.PromoteClimbs > 0 {
+			wPerClimb = float64(ops.WritePtrProm) / float64(ops.PromoteClimbs)
+		}
+		fmt.Printf("    barrier: %d ptr writes (%.0f%% fast, %.0f%% anc, %.0f%% find, %.0f%% prom); "+
+			"%d KiB promoted in %d climbs (%.2f writes/climb, lock depth %.2f)\n",
+			pw,
+			100*float64(ops.WritePtrFast)/float64(pw),
+			100*float64(ops.WritePtrAncestor)/float64(pw),
+			100*float64(ops.WritePtrNonProm)/float64(pw),
+			100*float64(ops.WritePtrProm)/float64(pw),
+			ops.PromotedBytes()>>10, ops.PromoteClimbs, wPerClimb, ops.MeanClimbDepth())
+	}
 
 	if res.Failures > 0 {
 		ok = false

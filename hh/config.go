@@ -113,10 +113,29 @@ func WithoutChunkPool() Option {
 	return func(c *rts.Config) { c.DisableChunkPool = true }
 }
 
-// WithoutWritePtrFastPath forces every mutable pointer write through the
-// master-copy lookup (the §3.3 fast-path ablation).
-func WithoutWritePtrFastPath() Option {
-	return func(c *rts.Config) { c.NoWritePtrFastPath = true }
+// WithoutBarrierFastPath forces every mutable pointer write through the
+// master-copy lookup under the heap read lock — the paper-faithful
+// baseline with neither the local-update fast path (§3.3) nor the
+// optimistic ancestor-pointee path, and with promote-buffer batching
+// disabled. The ablation that measures what the write-barrier fast paths
+// buy (hhbench -table promote reports both sides).
+func WithoutBarrierFastPath() Option {
+	return func(c *rts.Config) { c.NoBarrierFastPath = true }
+}
+
+// WithoutWritePtrFastPath is the former name of WithoutBarrierFastPath,
+// kept for callers of the original §3.3 ablation.
+//
+// Deprecated: use WithoutBarrierFastPath.
+func WithoutWritePtrFastPath() Option { return WithoutBarrierFastPath() }
+
+// WithPromoteBufferObjects caps how many staged pointees one promotion
+// lock climb may serve in a batched pointer write (Task.WritePtrs): the
+// capacity of each task's promote buffer. 0 selects the default (32);
+// 1 climbs per object — the batching ablation, equivalent to issuing the
+// batch as individual WritePtr calls.
+func WithPromoteBufferObjects(n int) Option {
+	return func(c *rts.Config) { c.PromoteBufferObjects = n }
 }
 
 // newConfig applies opts over the defaults.

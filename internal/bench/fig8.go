@@ -3,6 +3,7 @@ package bench
 import (
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/rts"
 )
@@ -101,6 +102,16 @@ func Fig8Costs(iters int) []CostRow {
 					t.WritePtr(distCell, 0, rootVal)
 				}
 				add("distant", "write-ptr-nonpromoting", time.Since(start))
+				// The same write with the barrier fast paths ablated: every
+				// store goes through FindMaster under the heap read lock.
+				// The gap between this cell and the previous one is what the
+				// ancestor-pointee fast path buys per operation.
+				var slowOps core.Counters
+				start = time.Now()
+				for i := 0; i < iters; i++ {
+					core.WritePtrSlow(nil, nil, &slowOps, distCell, 0, rootVal)
+				}
+				add("distant", "write-ptr-nonpromoting-nofastpath", time.Since(start))
 				start = time.Now()
 				for i := 0; i < iters; i++ {
 					fresh := t.Alloc(0, 1, mem.TagRef)

@@ -18,16 +18,20 @@ type Counters struct {
 
 	WriteInit int64 // initializing writes into fresh objects
 
-	WritePtrFast    int64 // pointer writes to local, unforwarded objects
-	WritePtrNonProm int64 // distant pointer writes that did not promote
-	WritePtrProm    int64 // pointer writes that triggered promotion
+	WritePtrFast     int64 // pointer writes to local, unforwarded objects
+	WritePtrAncestor int64 // optimistic ancestor-pointee writes (no FindMaster lock)
+	WritePtrNonProm  int64 // non-promoting writes that went through FindMaster
+	WritePtrProm     int64 // pointer writes that triggered promotion
+	WritePtrBatched  int64 // promoting writes committed by a shared (batched) climb
 
 	CASFast int64 // compare-and-swap on unforwarded objects
 	CASSlow int64 // compare-and-swap redirected to a master copy
 
-	Promotions        int64 // writePromote invocations
+	Promotions        int64 // promoting pointer writes committed
 	PromotedObjects   int64 // objects copied upward
 	PromotedWords     int64 // words copied upward
+	PromoteClimbs     int64 // promotion lock climbs (≤ Promotions when batching)
+	ClimbLockedHeaps  int64 // heaps write-locked across all climbs
 	FindMasterRetries int64 // double-checked locking retries
 }
 
@@ -43,18 +47,49 @@ func (c *Counters) Add(o *Counters) {
 	c.WriteNonptrSlow += o.WriteNonptrSlow
 	c.WriteInit += o.WriteInit
 	c.WritePtrFast += o.WritePtrFast
+	c.WritePtrAncestor += o.WritePtrAncestor
 	c.WritePtrNonProm += o.WritePtrNonProm
 	c.WritePtrProm += o.WritePtrProm
+	c.WritePtrBatched += o.WritePtrBatched
 	c.CASFast += o.CASFast
 	c.CASSlow += o.CASSlow
 	c.Promotions += o.Promotions
 	c.PromotedObjects += o.PromotedObjects
 	c.PromotedWords += o.PromotedWords
+	c.PromoteClimbs += o.PromoteClimbs
+	c.ClimbLockedHeaps += o.ClimbLockedHeaps
 	c.FindMasterRetries += o.FindMasterRetries
 }
 
 // PromotedBytes reports the bytes copied by promotions.
 func (c *Counters) PromotedBytes() int64 { return c.PromotedWords * 8 }
+
+// PtrWrites reports the total number of mutable pointer writes, across
+// every barrier class.
+func (c *Counters) PtrWrites() int64 {
+	return c.WritePtrFast + c.WritePtrAncestor + c.WritePtrNonProm + c.WritePtrProm
+}
+
+// BarrierFastRate reports the fraction of mutable pointer writes that
+// completed without touching any heap lock (the local and ancestor fast
+// paths). Zero when no pointer writes happened.
+func (c *Counters) BarrierFastRate() float64 {
+	total := c.PtrWrites()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.WritePtrFast+c.WritePtrAncestor) / float64(total)
+}
+
+// MeanClimbDepth reports the mean number of heaps write-locked per
+// promotion lock climb — the paper's lock-path length, which batching
+// amortizes across several promoting writes. Zero when nothing promoted.
+func (c *Counters) MeanClimbDepth() float64 {
+	if c.PromoteClimbs == 0 {
+		return 0
+	}
+	return float64(c.ClimbLockedHeaps) / float64(c.PromoteClimbs)
+}
 
 // Representative returns the name of the dominant mutable-operation class,
 // used to regenerate the paper's Figure 9. Immutable reads are pervasive in
@@ -72,7 +107,7 @@ func (c *Counters) Representative() string {
 		{"local non-pointer writes", c.WriteNonptrLocal},
 		{"local non-promoting writes", c.WritePtrFast},
 		{"distant non-pointer writes", c.WriteNonptrDistant + c.WriteNonptrSlow + c.CASFast + c.CASSlow},
-		{"distant non-promoting writes", c.WritePtrNonProm},
+		{"distant non-promoting writes", c.WritePtrAncestor + c.WritePtrNonProm},
 		{"distant promoting writes", c.WritePtrProm},
 	}
 	var total int64

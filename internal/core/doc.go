@@ -8,14 +8,33 @@
 // discipline: when promotion has duplicated an object, its copies form a
 // forwarding-pointer chain whose last element — the copy in the shallowest
 // heap — is authoritative. FindMaster walks the chain with double-checked
-// read locking; reads and non-pointer writes use optimistic fast paths that
-// touch the master only when a forwarding pointer is present.
+// read locking.
 //
-// WritePtr is the interesting case: storing a pointer to a deeper object
-// into a shallower one would create a down-pointer, so the pointee and
-// everything reachable from it is first promoted (copied) into the target
-// heap under write locks acquired on the heap path from the pointee's heap
-// up to the master's heap, deepest first (deadlock-free by hierarchy).
+// # Barrier taxonomy
+//
+// Every mutable access falls into one of three cost tiers (the full
+// decision diagram is in DESIGN.md §5, and docs/PAPER-MAP.md maps each
+// tier back to the paper's figures):
+//
+//   - Lock-free fast paths. Reads and non-pointer writes go straight to
+//     the object and check for a forwarding pointer afterwards; unpromoted
+//     objects pay a couple of instructions. Pointer writes have two such
+//     paths: the local path (the object is in the task's own leaf heap,
+//     where promotion is impossible) and the ancestor-pointee path (the
+//     pointee's heap is no deeper than the object's, so the write cannot
+//     entangle; the store is optimistic with a forwarding recheck, exactly
+//     like WriteNonptr).
+//   - FindMaster under the read lock. Forwarded objects, compare-and-swap
+//     (which cannot be optimistic), and non-promoting writes whose object
+//     was promoted redirect to the master copy while holding its heap's
+//     lock in shared mode.
+//   - The promotion climb. A pointer write whose pointee is deeper than
+//     the object's master write-locks the heap path from the pointee's
+//     heap up to the master's, deepest first, and copies the pointee's
+//     reachable graph upward (writePromote). WritePtrBatch amortizes the
+//     climb across a batch of writes staged in the task's PromoteBuf: one
+//     climb promotes every staged pointee, and pointees flushed together
+//     share one copy pass.
 //
 // Promotion vs. in-flight collection: zone collections (package gc) run
 // concurrently with these operations. The two machineries never meet on an
@@ -31,5 +50,6 @@
 // instead of observing objects mid-copy.
 //
 // All operations count themselves into per-task Counters so the evaluation
-// can report the Figure 8/9 operation taxonomy.
+// can report the Figure 8/9 operation taxonomy, the barrier fast/slow mix,
+// and the lock-climb amortization (hhbench -table promote).
 package core

@@ -154,28 +154,54 @@ func WriteInitPtr(ops *Counters, p mem.ObjPtr, i int, q mem.ObjPtr) {
 	mem.StorePtrField(p, i, q)
 }
 
-// WritePtr writes a mutable pointer field (Figure 7, writePtr). The fast
-// path covers objects in the current task's own (leaf) heap with no
-// forwarding pointer — promotion is impossible there. Otherwise the master
-// copy decides: if it is at least as deep as the pointee the write cannot
-// entangle and proceeds under the read lock; if it is shallower, the
-// pointee must first be promoted into the master's heap — cc, the calling
-// worker's chunk cache, supplies the target heap's chunks (nil for none).
-func WritePtr(cc *mem.ChunkCache, cur *heap.Heap, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
-	if heap.Of(obj) == cur && !mem.HasFwd(obj) {
+// WritePtr writes a mutable pointer field (Figure 7, writePtr). Two fast
+// paths cover the writes that cannot entangle, in increasing cost:
+//
+//   - Local: the object is in the current task's own (leaf) heap with no
+//     forwarding pointer. Promotion is impossible there (nothing deeper
+//     exists), so a plain store suffices.
+//   - Ancestor pointee: the object's heap is at least as deep as the
+//     pointee's, so the stored pointer goes sideways or upward and cannot
+//     create a down-pointer. Since both heaps lie on the writing task's
+//     root path, the depth comparison is an ancestry test. The store is
+//     optimistic — write first, then check for a forwarding pointer — the
+//     same protocol as WriteNonptr: either the racing promotion's copy
+//     phase observes our store, or we observe its forwarding pointer and
+//     redo the write through the master lookup below.
+//
+// Neither fast path touches a heap lock; FindMaster's read-lock climb is
+// reserved for forwarded objects and for writes that must promote. buf is
+// the task's promote buffer (scratch for the climb; nil for a transient
+// one) and cc the calling worker's chunk cache, supplying the target
+// heap's chunks during promotion (nil for none).
+func WritePtr(cc *mem.ChunkCache, cur *heap.Heap, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	ho := heap.Of(obj)
+	if ho == cur && !mem.HasFwd(obj) {
 		ops.WritePtrFast++
 		mem.StorePtrFieldAtomic(obj, field, ptr)
 		return
 	}
-	WritePtrSlow(cc, ops, obj, field, ptr)
+	if ptr.IsNil() || ho.Depth() >= heap.Of(ptr).Depth() {
+		mem.StorePtrFieldAtomic(obj, field, ptr)
+		if !mem.HasFwd(obj) {
+			ops.WritePtrAncestor++
+			return
+		}
+		// The object was promoted before or during the store: the write may
+		// have hit a stale copy. Fall through and redo it on the master
+		// (the forwarding chain is permanent, so the slow path cannot miss).
+	}
+	WritePtrSlow(cc, buf, ops, obj, field, ptr)
 }
 
-// WritePtrSlow is WritePtr without the local fast path: every write goes
-// through the master-copy lookup. It exists as an ablation knob (the
-// paper's implementation "prioritizes the efficiency of updates to local
-// objects"; this measures what that priority buys) and as the write path
-// for contexts with no current-heap notion.
-func WritePtrSlow(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+// WritePtrSlow is WritePtr without the fast paths: every write goes
+// through the master-copy lookup under the heap read lock, the
+// paper-faithful baseline. It exists as an ablation knob (the paper's
+// implementation "prioritizes the efficiency of updates to local objects";
+// this measures what that priority — and the ancestor fast path on top of
+// it — buys) and as the write path for contexts with no current-heap
+// notion.
+func WritePtrSlow(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	m, h := FindMaster(ops, obj)
 	if ptr.IsNil() || h.Depth() >= heap.Of(ptr).Depth() {
 		ops.WritePtrNonProm++
@@ -185,5 +211,62 @@ func WritePtrSlow(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, 
 	}
 	h.Unlock()
 	ops.WritePtrProm++
-	writePromote(cc, ops, m, field, ptr)
+	ops.Promotions++
+	writePromote(cc, buf, ops, m, field, ptr)
+}
+
+// WritePtrBatch writes ptrs[j] into pointer field field0+j of obj for
+// every j — an array-of-pointers publish (visit lists, env packs, index
+// slices). Each field write is individually linearizable, exactly as if
+// issued through WritePtr in order; the batch is not atomic as a group.
+// What the batch buys is amortization: all writes that need promotion
+// share ONE lock climb per buffer flush (up to buf's capacity of staged
+// pointees), instead of re-acquiring the heap path per object, and
+// pointees promoted by the same flush share the promotion worklist, so a
+// subgraph reachable from several of them is copied once.
+func WritePtrBatch(cc *mem.ChunkCache, cur *heap.Heap, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, field0 int, ptrs []mem.ObjPtr) {
+	if len(ptrs) == 0 {
+		return
+	}
+	if heap.Of(obj) == cur && !mem.HasFwd(obj) {
+		ops.WritePtrFast += int64(len(ptrs))
+		mem.StorePtrFieldsAtomic(obj, field0, ptrs)
+		return
+	}
+	if buf == nil {
+		buf = &PromoteBuf{}
+	}
+	m, h := FindMaster(ops, obj)
+	d := h.Depth()
+	buf.resetStage()
+	for j, q := range ptrs {
+		if q.IsNil() || d >= heap.Of(q).Depth() {
+			ops.WritePtrNonProm++
+			mem.StorePtrFieldAtomic(m, field0+j, q)
+			continue
+		}
+		buf.stage(field0+j, q)
+	}
+	h.Unlock()
+	staged := len(buf.stagedFields)
+	if staged == 0 {
+		return
+	}
+	ops.WritePtrProm += int64(staged)
+	ops.Promotions += int64(staged)
+	// Flush the staged promoting writes in groups of the buffer's capacity:
+	// one climb per group. Capacity 1 degenerates to per-object promotion
+	// (the batching ablation). Only writes that actually shared a climb
+	// with another count as batched.
+	group := buf.capacity()
+	for lo := 0; lo < staged; lo += group {
+		hi := lo + group
+		if hi > staged {
+			hi = staged
+		}
+		if hi-lo > 1 {
+			ops.WritePtrBatched += int64(hi - lo)
+		}
+		writePromoteBatch(cc, buf, ops, m, buf.stagedFields[lo:hi], buf.stagedPtrs[lo:hi])
+	}
 }

@@ -153,7 +153,7 @@ func TestWritePtrFastPathLocal(t *testing.T) {
 	var ops Counters
 	obj := Alloc(nil, child, &ops, 1, 0, mem.TagRef)
 	val := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
-	WritePtr(nil, child, &ops, obj, 0, val)
+	WritePtr(nil, child, nil, &ops, obj, 0, val)
 	if mem.LoadPtrFieldAtomic(obj, 0) != val {
 		t.Fatal("local pointer write failed")
 	}
@@ -162,20 +162,25 @@ func TestWritePtrFastPathLocal(t *testing.T) {
 	}
 }
 
-func TestWritePtrNonPromotingDistant(t *testing.T) {
-	// Writing an ancestor's pointer into a deeper object does not promote.
+func TestWritePtrAncestorPointeeFastPath(t *testing.T) {
+	// Writing an ancestor's pointer into a deeper object cannot entangle:
+	// the optimistic fast path stores without touching any heap lock.
 	root, child, _ := hierarchy()
 	defer freeAll(root, child)
 	var ops Counters
 	obj := Alloc(nil, child, &ops, 1, 0, mem.TagRef) // deep object
 	val := Alloc(nil, root, &ops, 0, 1, mem.TagRef)  // shallow value
-	// Write from a context whose current heap is not child's: forces slow path.
-	WritePtr(nil, root, &ops, obj, 0, val)
+	before := heap.Of(obj).LockStats()
+	// Write from a context whose current heap is not child's: not local.
+	WritePtr(nil, root, nil, &ops, obj, 0, val)
 	if mem.LoadPtrFieldAtomic(obj, 0) != val {
 		t.Fatal("distant pointer write failed")
 	}
-	if ops.WritePtrNonProm != 1 || ops.Promotions != 0 {
-		t.Fatalf("want non-promoting slow path: %+v", ops)
+	if ops.WritePtrAncestor != 1 || ops.WritePtrNonProm != 0 || ops.Promotions != 0 {
+		t.Fatalf("want ancestor fast path: %+v", ops)
+	}
+	if after := heap.Of(obj).LockStats(); after != before {
+		t.Fatalf("fast path touched the heap lock: %+v -> %+v", before, after)
 	}
 }
 
@@ -184,9 +189,28 @@ func TestWritePtrNilNeverPromotes(t *testing.T) {
 	defer freeAll(root, child)
 	var ops Counters
 	obj := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
-	WritePtr(nil, child, &ops, obj, 0, mem.NilPtr)
-	if ops.Promotions != 0 || ops.WritePtrNonProm != 1 {
+	WritePtr(nil, child, nil, &ops, obj, 0, mem.NilPtr)
+	if ops.Promotions != 0 || ops.WritePtrAncestor != 1 {
 		t.Fatalf("nil write must not promote: %+v", ops)
+	}
+}
+
+func TestWritePtrForwardedObjectGoesSlow(t *testing.T) {
+	// A forwarded object defeats the optimistic fast path: the write is
+	// redone on the master through FindMaster (WritePtrNonProm class).
+	root, child, _ := hierarchy()
+	defer freeAll(root, child)
+	var ops Counters
+	obj := Alloc(nil, child, &ops, 1, 0, mem.TagRef)
+	master := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
+	mem.StoreFwd(obj, master)
+	val := Alloc(nil, root, &ops, 0, 1, mem.TagRef)
+	WritePtr(nil, root, nil, &ops, obj, 0, val)
+	if mem.LoadPtrFieldAtomic(master, 0) != val {
+		t.Fatal("write must land on the master copy")
+	}
+	if ops.WritePtrNonProm != 1 || ops.WritePtrAncestor != 0 {
+		t.Fatalf("want FindMaster slow path: %+v", ops)
 	}
 }
 
@@ -198,7 +222,7 @@ func TestWritePtrPromotes(t *testing.T) {
 	local := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, local, 0, 77)
 
-	WritePtr(nil, child, &ops, cell, 0, local)
+	WritePtr(nil, child, nil, &ops, cell, 0, local)
 
 	got := ReadMutPtr(&ops, cell, 0)
 	if got.IsNil() || got == local {
@@ -237,7 +261,7 @@ func TestPromotionIsTransitive(t *testing.T) {
 		list = cons
 	}
 
-	WritePtr(nil, grand, &ops, cell, 0, list)
+	WritePtr(nil, grand, nil, &ops, cell, 0, list)
 
 	if ops.PromotedObjects != n {
 		t.Fatalf("promoted %d objects, want %d", ops.PromotedObjects, n)
@@ -274,9 +298,9 @@ func TestPromotionSharesAlreadyPromoted(t *testing.T) {
 	cellB := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
 	local := Alloc(nil, child, &ops, 0, 1, mem.TagRef)
 
-	WritePtr(nil, child, &ops, cellA, 0, local)
+	WritePtr(nil, child, nil, &ops, cellA, 0, local)
 	first := ReadMutPtr(&ops, cellA, 0)
-	WritePtr(nil, child, &ops, cellB, 0, local)
+	WritePtr(nil, child, nil, &ops, cellB, 0, local)
 	second := ReadMutPtr(&ops, cellB, 0)
 
 	if first != second {
@@ -299,7 +323,7 @@ func TestPromotionStopsAtTargetDepth(t *testing.T) {
 	pair := Alloc(nil, child, &ops, 1, 0, mem.TagTuple)
 	WriteInitPtr(&ops, pair, 0, shallow)
 
-	WritePtr(nil, child, &ops, cell, 0, pair)
+	WritePtr(nil, child, nil, &ops, cell, 0, pair)
 
 	if ops.PromotedObjects != 1 {
 		t.Fatalf("only the pair should be copied, got %d", ops.PromotedObjects)
@@ -324,7 +348,7 @@ func TestPromotionOfCyclicGraph(t *testing.T) {
 	WriteInitPtr(&ops, a, 0, b)
 	WriteInitPtr(&ops, b, 0, a)
 
-	WritePtr(nil, child, &ops, cell, 0, a)
+	WritePtr(nil, child, nil, &ops, cell, 0, a)
 
 	pa := ReadMutPtr(&ops, cell, 0)
 	pb := mem.LoadPtrField(pa, 0)
@@ -351,8 +375,8 @@ func TestRepeatedPromotionBuildsChain(t *testing.T) {
 	obj := Alloc(nil, grand, &ops, 0, 1, mem.TagRef)
 	WriteInitWord(&ops, obj, 0, 1)
 
-	WritePtr(nil, grand, &ops, cellMid, 0, obj) // promote grand -> child
-	WritePtr(nil, grand, &ops, cellTop, 0, obj) // promote child -> root
+	WritePtr(nil, grand, nil, &ops, cellMid, 0, obj) // promote grand -> child
+	WritePtr(nil, grand, nil, &ops, cellTop, 0, obj) // promote child -> root
 
 	if ops.Promotions != 2 || ops.PromotedObjects != 2 {
 		t.Fatalf("counters: %+v", ops)
@@ -384,7 +408,7 @@ func TestCheckHeapDetectsEntanglement(t *testing.T) {
 		t.Fatal("checker must flag the down-pointer")
 	}
 	// Repair through the legal path and re-check.
-	WritePtr(nil, child, &ops, cell, 0, local)
+	WritePtr(nil, child, nil, &ops, cell, 0, local)
 	if err := CheckSubtree(root, child); err != nil {
 		t.Fatal(err)
 	}

@@ -7,36 +7,87 @@ import (
 	"repro/internal/mem"
 )
 
-// writePromote implements the promoting pointer write (Figure 7,
-// writePromote). Three phases:
+// DefaultPromoteBufferObjects is the default capacity of a task's promote
+// buffer: how many staged pointees a single WritePtrBatch lock climb may
+// promote before a new climb starts. Capacity 1 turns batching off (one
+// climb per promoting write — the ablation baseline).
+const DefaultPromoteBufferObjects = 32
+
+// PromoteBuf is a task-private promotion scratch buffer. It serves two
+// jobs on the promoting write path:
 //
-//  1. Write-lock every heap on the path from heapOf(ptr) up to the heap of
-//     obj's master copy, deepest first. If obj gains a forwarding pointer
-//     while we climb (a racing promotion moved it higher), keep locking
-//     upward to the new master. Locking the intermediate heaps takes
-//     ownership of the forwarding words of everything we may copy; locking
-//     the target keeps concurrent findMaster calls from returning until the
-//     promotion is complete.
-//  2. Promote ptr's object graph into the master's heap and store the
-//     promoted pointer into the field.
-//  3. Unlock the path, shallowest first.
+//   - it stages the (field, pointee) pairs of a WritePtrBatch so that one
+//     lock climb — one bottom-up write-lock acquisition of the heap path —
+//     promotes up to Cap pointees instead of re-acquiring per object, and
+//   - it owns the reusable climb and copy worklists (the locked-heap path
+//     and the promotion scan stack), so steady-state promotions allocate
+//     nothing in Go.
+//
+// A PromoteBuf is single-goroutine (each rts.Task embeds one); the zero
+// value is ready to use with the default capacity.
+type PromoteBuf struct {
+	max int // flush-group capacity; 0 = default, 1 = per-object climbs
+
+	stagedFields []int
+	stagedPtrs   []mem.ObjPtr
+
+	locked []*heap.Heap // climb scratch: the write-locked heap path
+	scan   []mem.ObjPtr // promotion worklist: fresh copies to field-fix
+}
+
+// NewPromoteBuf returns a buffer with the given flush capacity (in staged
+// objects per climb). n == 0 selects DefaultPromoteBufferObjects; n == 1
+// disables batching.
+func NewPromoteBuf(n int) *PromoteBuf {
+	b := &PromoteBuf{}
+	b.SetCapacity(n)
+	return b
+}
+
+// SetCapacity sets the flush-group capacity (0 = default, 1 = per-object).
+func (b *PromoteBuf) SetCapacity(n int) {
+	if n < 0 {
+		n = 1
+	}
+	b.max = n
+}
+
+func (b *PromoteBuf) capacity() int {
+	if b.max == 0 {
+		return DefaultPromoteBufferObjects
+	}
+	return b.max
+}
+
+func (b *PromoteBuf) resetStage() {
+	b.stagedFields = b.stagedFields[:0]
+	b.stagedPtrs = b.stagedPtrs[:0]
+}
+
+func (b *PromoteBuf) stage(field int, q mem.ObjPtr) {
+	b.stagedFields = append(b.stagedFields, field)
+	b.stagedPtrs = append(b.stagedPtrs, q)
+}
+
+// lockPath write-locks every heap from src (inclusive, deepest) up to the
+// master copy of obj, deepest first, re-extending the path if obj gains a
+// forwarding pointer while we climb (a racing promotion moved it higher).
+// It returns obj's master and the master's heap; the locked path is left
+// in buf.locked for unlockPath. Locking the intermediate heaps takes
+// ownership of the forwarding words of everything we may copy; locking the
+// target keeps concurrent findMaster calls from returning until the
+// promotion is complete.
 //
 // Deadlock freedom: all multi-heap acquisitions in the system climb the
 // hierarchy bottom-up — this path, and equally a zone collection's
 // heap.LockZone, which write-locks its (disjointly admitted) zone deepest
 // first — and lock waits therefore only target heaps strictly shallower
 // than any lock held.
-func writePromote(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
-	src := heap.Of(ptr)
+func (b *PromoteBuf) lockPath(ops *Counters, src *heap.Heap, obj mem.ObjPtr) (mem.ObjPtr, *heap.Heap) {
 	target := heap.Of(obj)
-	if target.Depth() >= src.Depth() {
-		panic(fmt.Sprintf("core: writePromote precondition violated: target depth %d >= source depth %d",
-			target.Depth(), src.Depth()))
-	}
-
-	locked := make([]*heap.Heap, 0, src.Depth()-target.Depth()+1)
+	b.locked = b.locked[:0]
 	src.Lock(heap.WRITE)
-	locked = append(locked, src)
+	b.locked = append(b.locked, src)
 	prevTop := src
 	for {
 		for h := prevTop.Parent(); ; h = h.Parent() {
@@ -44,7 +95,7 @@ func writePromote(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, 
 				panic("core: promotion target is not an ancestor of the pointee's heap")
 			}
 			h.Lock(heap.WRITE)
-			locked = append(locked, h)
+			b.locked = append(b.locked, h)
 			if h == target {
 				break
 			}
@@ -58,14 +109,74 @@ func writePromote(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, 
 		obj = mem.LoadFwd(obj)
 		target = heap.Of(obj)
 	}
+	ops.PromoteClimbs++
+	ops.ClimbLockedHeaps += int64(len(b.locked))
+	return obj, target
+}
 
-	promoted := promote(cc, ops, target, ptr)
-	mem.StorePtrFieldAtomic(obj, field, promoted)
-	ops.Promotions++
-
-	for i := len(locked) - 1; i >= 0; i-- {
-		locked[i].Unlock()
+// unlockPath releases the climb's locks, shallowest first.
+func (b *PromoteBuf) unlockPath() {
+	for i := len(b.locked) - 1; i >= 0; i-- {
+		b.locked[i].Unlock()
+		b.locked[i] = nil
 	}
+	b.locked = b.locked[:0]
+}
+
+// writePromote implements the promoting pointer write (Figure 7,
+// writePromote). Three phases:
+//
+//  1. Write-lock every heap on the path from heapOf(ptr) up to the heap of
+//     obj's master copy, deepest first (lockPath).
+//  2. Promote ptr's object graph into the master's heap and store the
+//     promoted pointer into the field.
+//  3. Unlock the path, shallowest first.
+//
+// buf supplies the reusable climb and worklist scratch (nil for a
+// transient buffer); the caller has already counted the write in
+// WritePtrProm/Promotions.
+func writePromote(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	if buf == nil {
+		buf = &PromoteBuf{}
+	}
+	src := heap.Of(ptr)
+	target := heap.Of(obj)
+	if target.Depth() >= src.Depth() {
+		panic(fmt.Sprintf("core: writePromote precondition violated: target depth %d >= source depth %d",
+			target.Depth(), src.Depth()))
+	}
+	obj, target = buf.lockPath(ops, src, obj)
+	promoted := promote(cc, buf, ops, target, ptr)
+	mem.StorePtrFieldAtomic(obj, field, promoted)
+	buf.unlockPath()
+}
+
+// writePromoteBatch is writePromote amortized over a staged batch: fields
+// and ptrs are parallel slices of promoting writes to obj (all pointees
+// strictly deeper than obj's master at staging time). ONE lock climb —
+// from the deepest staged pointee's heap up to the master — covers every
+// staged promotion: all other pointee heaps lie on the writing task's root
+// path between the two ends, so their forwarding words are owned by the
+// same locked path. Pointees promoted by the same flush share the
+// worklist, so a subgraph reachable from several of them is copied exactly
+// once and its sharing structure is preserved across the batch.
+func writePromoteBatch(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, fields []int, ptrs []mem.ObjPtr) {
+	src := heap.Of(ptrs[0])
+	for _, q := range ptrs[1:] {
+		if h := heap.Of(q); h.Depth() > src.Depth() {
+			src = h
+		}
+	}
+	target := heap.Of(obj)
+	if target.Depth() >= src.Depth() {
+		panic(fmt.Sprintf("core: writePromoteBatch precondition violated: target depth %d >= source depth %d",
+			target.Depth(), src.Depth()))
+	}
+	obj, target = buf.lockPath(ops, src, obj)
+	for i, q := range ptrs {
+		mem.StorePtrFieldAtomic(obj, fields[i], promote(cc, buf, ops, target, q))
+	}
+	buf.unlockPath()
 }
 
 // promote copies the object graph reachable from p into target (or reuses
@@ -74,24 +185,24 @@ func writePromote(cc *mem.ChunkCache, ops *Counters, obj mem.ObjPtr, field int, 
 // forwarding pointer is installed before any children are visited, which
 // permits this worklist formulation: chase-and-copy each root, then scan
 // the pointer fields of freshly made copies, replacing each with its own
-// chased copy.
+// chased copy. The worklist lives in buf and is reused climb to climb.
 //
 // The caller holds WRITE locks on every heap between (and including) p's
 // heap and target, so all forwarding installations and field fix-ups here
 // are protected.
-func promote(cc *mem.ChunkCache, ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
+func promote(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, target *heap.Heap, p mem.ObjPtr) mem.ObjPtr {
 	td := target.Depth()
-	var scan []mem.ObjPtr
-	res := chaseCopy(cc, ops, target, td, p, &scan)
-	for len(scan) > 0 {
-		o := scan[len(scan)-1]
-		scan = scan[:len(scan)-1]
+	buf.scan = buf.scan[:0]
+	res := chaseCopy(cc, ops, target, td, p, &buf.scan)
+	for len(buf.scan) > 0 {
+		o := buf.scan[len(buf.scan)-1]
+		buf.scan = buf.scan[:len(buf.scan)-1]
 		for i, n := 0, mem.NumPtrFields(o); i < n; i++ {
 			q := mem.LoadPtrField(o, i)
 			if q.IsNil() {
 				continue
 			}
-			mem.StorePtrField(o, i, chaseCopy(cc, ops, target, td, q, &scan))
+			mem.StorePtrField(o, i, chaseCopy(cc, ops, target, td, q, &buf.scan))
 		}
 	}
 	return res
@@ -134,7 +245,7 @@ func PromoteTo(cc *mem.ChunkCache, ops *Counters, target *heap.Heap, p mem.ObjPt
 		return p
 	}
 	target.Lock(heap.WRITE)
-	res := promote(cc, ops, target, p)
+	res := promote(cc, &PromoteBuf{}, ops, target, p)
 	target.Unlock()
 	return res
 }

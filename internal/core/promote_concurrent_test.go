@@ -15,6 +15,22 @@ import (
 // mutable cells at the root, forcing concurrent promotions into the same
 // heap, while other accesses chase master copies. Run under -race.
 func TestConcurrentPromotionsToSharedAncestor(t *testing.T) {
+	runConcurrentPromotions(t, func(cur *heap.Heap, ops *Counters, cell mem.ObjPtr, head mem.ObjPtr) {
+		WritePtr(nil, cur, nil, ops, cell, 0, head)
+	})
+}
+
+// TestConcurrentPromotionsSlowPathAblation runs the identical race with
+// every write forced through the master-copy lookup (the
+// NoBarrierFastPath ablation): the paper-faithful baseline must satisfy
+// the same invariants as the fast-pathed barrier.
+func TestConcurrentPromotionsSlowPathAblation(t *testing.T) {
+	runConcurrentPromotions(t, func(cur *heap.Heap, ops *Counters, cell mem.ObjPtr, head mem.ObjPtr) {
+		WritePtrSlow(nil, nil, ops, cell, 0, head)
+	})
+}
+
+func runConcurrentPromotions(t *testing.T, writePtr func(cur *heap.Heap, ops *Counters, cell, head mem.ObjPtr)) {
 	root := heap.NewRoot()
 	defer freeAll(root)
 	var setup Counters
@@ -53,7 +69,7 @@ func TestConcurrentPromotionsToSharedAncestor(t *testing.T) {
 					head = cons
 				}
 				cell := cells[(s+i)%siblings]
-				WritePtr(nil, cur, ops, cell, 0, head)
+				writePtr(cur, ops, cell, head)
 
 				// Read some other cell through the master discipline.
 				got := ReadMutPtr(ops, cells[(s+i+1)%siblings], 0)
@@ -115,7 +131,7 @@ func TestConcurrentWritesDuringPromotion(t *testing.T) {
 		go func() { // promoter (the child task publishing its object)
 			defer wg.Done()
 			var ops Counters
-			WritePtr(nil, child, &ops, cell, 0, obj)
+			WritePtr(nil, child, nil, &ops, cell, 0, obj)
 		}()
 		go func() { // writer racing the promotion through the old pointer
 			defer wg.Done()
@@ -186,7 +202,7 @@ func TestPromotionPreservesGraphs(t *testing.T) {
 		before := graphChecksum(top, map[uint64]int{}, new(int))
 
 		cell := Alloc(nil, root, &ops, 1, 0, mem.TagRef)
-		WritePtr(nil, child, &ops, cell, 0, top)
+		WritePtr(nil, child, nil, &ops, cell, 0, top)
 		promoted := ReadMutPtr(&ops, cell, 0)
 
 		after := graphChecksum(promoted, map[uint64]int{}, new(int))

@@ -9,6 +9,8 @@
 // reproduces MLton's constant-time linked-list splice while keeping the
 // chunk-metadata heapOf lookup of the paper's implementation.
 //
+// # Locks and the one global order
+//
 // Every heap carries a readers-writer lock (paper Figure 4): findMaster
 // acquires it in read mode, promotion and zone collection in write mode.
 // One global lock order keeps the three composable — every multi-heap
@@ -16,10 +18,24 @@
 // breaking ties between siblings). The zone helpers encode that order:
 // SortZone canonicalizes a zone, LockZone/UnlockZone write-lock and
 // release it in order, and IsAncestorOf answers zone-membership queries
-// through any joins.
+// through any joins. The promotion path's climb (core.PromoteBuf.lockPath)
+// follows the same order from the other end: pointee's heap first, then
+// each ancestor up to the promotion target.
+//
+// Depth is the hierarchy's cheap ancestry oracle: two heaps referenced by
+// one task both lie on that task's root path, so comparing Depth values is
+// an ancestor test without walking parents. The write barrier's lock-free
+// fast paths (core.WritePtr) rely on exactly this — a depth comparison plus
+// a forwarding-pointer check decides that a write cannot entangle, without
+// touching any lock.
 //
 // A Superheap is the per-user-level-thread stack of heaps from Appendix B:
 // forkjoin pushes a fresh heap (depth+1) and the matching join pops and
 // joins it, both constant-time operations, so the common no-steal case
 // stays cheap.
+//
+// Chunk movement goes through the recycling allocator (package mem):
+// grow/FreshObjVia acquire through the calling worker's ChunkCache, and
+// RecycleChunkList / ReleaseWholesale hand completed heaps' chunks back to
+// the cache, the global pool, or the OS.
 package heap

@@ -1,0 +1,30 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ExampleSuperheap shows the per-thread heap stack that mirrors forkjoin:
+// a fork pushes a child heap (depth + 1), the matching join pops it and
+// splices its chunks into the heap below in O(1), with the child handle
+// surviving as an alias of the parent.
+func ExampleSuperheap() {
+	sh := NewSuperheap(NewRoot())
+	fmt.Println("base depth:", sh.Current().Depth())
+
+	child := sh.Push() // fork
+	obj := child.FreshObj(0, 1, mem.TagRef)
+	fmt.Println("forked depth:", sh.Current().Depth(), "— object at depth", Of(obj).Depth())
+
+	sh.PopJoin() // join: child's chunks splice into the base
+	fmt.Println("after join: object at depth", Of(obj).Depth(),
+		"| child aliases base:", child.Resolve() == sh.Current())
+
+	FreeChunkList(sh.Current().TakeChunks())
+	// Output:
+	// base depth: 0
+	// forked depth: 1 — object at depth 1
+	// after join: object at depth 0 | child aliases base: true
+}

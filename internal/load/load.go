@@ -1,9 +1,10 @@
 // Package load defines the request scenarios driven by the closed-loop
-// load generator (cmd/hhload) and the serving benchmark table (internal/
-// report, hhbench -table serve). Each scenario is one self-contained
-// request: given a seed and a size it builds, mutates, and folds
-// session-local data into a deterministic checksum, so the same request
-// stream can be replayed against every runtime mode and cross-validated.
+// load generator (cmd/hhload) and the serving benchmark tables (internal/
+// report, hhbench -table serve/alloc/promote). Each scenario is one
+// self-contained request: given a seed and a size it builds, mutates, and
+// folds session-local data into a deterministic checksum, so the same
+// request stream can be replayed against every runtime mode — and against
+// every barrier/allocator ablation — and cross-validated.
 package load
 
 import (
@@ -26,8 +27,11 @@ const kvSlots = 16
 
 // kvChurn models a key-value store's write-heavy churn: size keys hash
 // into a session-shared bucket array (a distant, promoting write per
-// insert in ParMem), then every bucket is scanned back. The archetypal
-// mutable-state request.
+// insert in ParMem), each bucket's chain is then compacted — reversed in
+// place, the access-order rewrite of an LRU — and every bucket is scanned
+// back. The archetypal mutable-state request: the insert phase is all
+// promoting writes, the compaction phase is all ancestor-pointee writes
+// (promoted cell to promoted cell), the barrier fast path's home turf.
 func kvChurn(t *hh.Task, seed uint64, size int) uint64 {
 	var sum uint64
 	t.Scoped(func(sc *hh.Scope) {
@@ -46,10 +50,23 @@ func kvChurn(t *hh.Task, seed uint64, size int) uint64 {
 						t.WritePtr(e.Ptr(0), b, cell)
 					})
 				}
+				// Compaction: reverse the chain in place. Every write is
+				// cell -> cell within the bucket array's heap (the session
+				// root; the global heap in Manticore), so none can promote
+				// and none allocates — raw pointers stay valid throughout.
+				prev := hh.Nil
+				cur := t.ReadMutPtr(e.Ptr(0), b)
+				for !cur.IsNil() {
+					next := t.ReadMutPtr(cur, 0)
+					t.WritePtr(cur, 0, prev)
+					prev = cur
+					cur = next
+				}
+				t.WritePtr(e.Ptr(0), b, prev)
 			}
 		})
 		for b := 0; b < kvSlots; b++ {
-			for p := t.ReadMutPtr(buckets.Get(), b); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+			for p := t.ReadMutPtr(buckets.Get(), b); !p.IsNil(); p = t.ReadMutPtr(p, 0) {
 				sum = sum*31 + t.ReadImmWord(p, 0) + t.ReadImmWord(p, 1)
 			}
 		}
@@ -84,6 +101,58 @@ func bfsQuery(t *hh.Task, seed uint64, size int) uint64 {
 			for p := t.ReadMutPtr(lists.Get(), b); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
 				sum = sum*1099511628211 + t.ReadImmWord(p, 0)
 			}
+		}
+	})
+	return sum
+}
+
+// fanPublish models an index build: the request shares a directory array
+// of slots, and each partition materializes its records locally — a chain,
+// so one scope ref keeps the whole batch alive — then publishes them into
+// its slice of the directory with a single batched pointer write
+// (Task.WritePtrs). In the hierarchical modes that is the promote buffer's
+// showcase: one lock climb promotes every record of the batch, and the
+// chain links between them mean the batch shares one copy pass instead of
+// re-copying the tail per record.
+func fanPublish(t *hh.Task, seed uint64, size int) uint64 {
+	const parts = 8
+	slots := size / 4
+	if slots < parts {
+		slots = parts
+	}
+	grain := slots / parts
+	var sum uint64
+	t.Scoped(func(sc *hh.Scope) {
+		dir := sc.Ref(t.AllocMut(slots, 0, hh.TagArrPtr))
+		hh.ParDo(t, hh.Bind(dir), 0, slots, grain, func(t *hh.Task, e *hh.Env, lo, hi int) {
+			t.Scoped(func(s *hh.Scope) {
+				// Materialize the partition's records as a local chain:
+				// record j links to record j-1, so registering the head
+				// keeps every batch member live across allocations.
+				head := s.Ref(hh.Nil)
+				for j := lo; j < hi; j++ {
+					rec := t.Alloc(1, 1, hh.TagCons)
+					t.InitWord(rec, 0, hh.Hash64(seed^uint64(j)<<24))
+					t.InitPtr(rec, 0, head.Get())
+					head.Set(rec)
+				}
+				// Collect the chain into the batch (no allocation from here
+				// on, so the raw pointers stay valid). Walking from the head
+				// yields newest first, so reverse: after the swap loop,
+				// batch[i] is record lo+i, published at slot lo+i.
+				batch := make([]hh.Ptr, 0, hi-lo)
+				for p := head.Get(); !p.IsNil(); p = t.ReadImmPtr(p, 0) {
+					batch = append(batch, p)
+				}
+				for i, j := 0, len(batch)-1; i < j; i, j = i+1, j-1 {
+					batch[i], batch[j] = batch[j], batch[i]
+				}
+				t.WritePtrs(e.Ptr(0), lo, batch)
+			})
+		})
+		for i := 0; i < slots; i++ {
+			rec := t.ReadMutPtr(dir.Get(), i)
+			sum = sum*1099511628211 + t.ReadImmWord(rec, 0)
 		}
 	})
 	return sum
@@ -129,6 +198,7 @@ func All() []Scenario {
 		{Name: "kv", Run: kvChurn},
 		{Name: "bfs", Run: bfsQuery},
 		{Name: "hist", Run: histogram},
+		{Name: "fan", Run: fanPublish},
 	}
 }
 
@@ -139,7 +209,7 @@ func ByName(name string) (Scenario, error) {
 			return s, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("load: unknown scenario %q (want kv|bfs|hist)", name)
+	return Scenario{}, fmt.Errorf("load: unknown scenario %q (want kv|bfs|hist|fan)", name)
 }
 
 // Mix is a weighted scenario mix; requests are assigned deterministically

@@ -25,6 +25,53 @@ func TestParseMix(t *testing.T) {
 	}
 }
 
+// TestScenariosAgreeUnderBarrierAblations replays every scenario with the
+// write-barrier knobs at their extremes — fast paths ablated, promote
+// buffer reduced to per-object climbs — and checks the checksums match the
+// default configuration in both hierarchical modes. The fast paths and the
+// batching are implementation details: they must never change a result.
+func TestScenariosAgreeUnderBarrierAblations(t *testing.T) {
+	type key struct {
+		name string
+		seed uint64
+	}
+	configs := []struct {
+		label string
+		opts  []hh.Option
+	}{
+		{"default", nil},
+		{"nofastpath", []hh.Option{hh.WithoutBarrierFastPath()}},
+		{"promote-buffer-1", []hh.Option{hh.WithPromoteBufferObjects(1)}},
+	}
+	for _, mode := range []hh.Mode{hh.ParMem, hh.Manticore} {
+		want := map[key]uint64{}
+		for _, cfg := range configs {
+			opts := append([]hh.Option{hh.WithMode(mode), hh.WithProcs(2),
+				hh.WithGCPolicy(2048, 1.25)}, cfg.opts...)
+			r := hh.New(opts...)
+			for _, sc := range All() {
+				for seed := uint64(1); seed <= 2; seed++ {
+					s := r.Submit(hh.SessionOpts{}, func(task *hh.Task) uint64 {
+						return sc.Run(task, seed, 300)
+					})
+					got, err := s.Wait()
+					if err != nil {
+						t.Fatalf("%s/%s/%s seed %d: %v", mode, cfg.label, sc.Name, seed, err)
+					}
+					k := key{sc.Name, seed}
+					if w, seen := want[k]; !seen {
+						want[k] = got
+					} else if got != w {
+						t.Errorf("%s/%s/%s seed %d: checksum %x, want %x",
+							mode, cfg.label, sc.Name, seed, got, w)
+					}
+				}
+			}
+			r.Close()
+		}
+	}
+}
+
 // TestScenariosDeterministicAcrossModes replays the same requests in every
 // runtime mode and checks the checksums agree — the property hhload's
 // cross-mode validation relies on.

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+	"repro/internal/mem"
+)
+
+// PromoteTable benchmarks the write barrier under serving load: the
+// kv-churn serve mix (kv=2,bfs=1,hist=1 plus the batched fan publish)
+// drives the closed loop twice per runtime system — once with the barrier
+// fast paths and the promote buffer enabled (the default) and once with
+// every pointer write forced through the master-copy lookup under the heap
+// read lock (hh.WithoutBarrierFastPath, the paper-faithful baseline). For
+// each run it reports the barrier mix of Figure 9's write classes, the
+// promotion volume, and the lock-climb amortization the promote buffer
+// provides.
+//
+// Reading it: "fast%" (local) + "anc%" (ancestor-pointee) is the share of
+// pointer writes that never touched a heap lock; with the fast paths off
+// both columns read 0 and every write lands in "find%" or "prom%". The
+// promoting share is a property of the workload, so "prom%" and
+// "promB/req" should match between the on and off rows — what changes is
+// req/s. "w/climb" is promoting writes per lock climb (above 1.0 means the
+// promote buffer shared climbs across a batch) and "lockdepth" the mean
+// number of heaps write-locked per climb.
+func PromoteTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	mix, err := load.ParseMix("kv=2,bfs=1,hist=1,fan=1")
+	if err != nil {
+		return err
+	}
+	sessions := 2 * o.Procs
+	if sessions < 8 {
+		sessions = 8
+	}
+	requests, size := 16*sessions, 1200
+	if o.Paper {
+		requests *= 4
+	}
+	if runtime.GOMAXPROCS(0) < o.Procs {
+		runtime.GOMAXPROCS(o.Procs) // let in-flight sessions overlap in wall time
+	}
+
+	header := []string{"system", "fastpath", "req/s", "ptr-writes", "fast%", "anc%",
+		"find%", "prom%", "promB/req", "climbs", "w/climb", "lockdepth"}
+	var rows [][]string
+	var failures []string
+	var refSum uint64
+	var refRow string
+	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
+		for _, fast := range []bool{true, false} {
+			opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(o.Procs),
+				hh.WithGCPolicy(2048, 1.25)}
+			label := "on"
+			if !fast {
+				opts = append(opts, hh.WithoutBarrierFastPath())
+				label = "off"
+			}
+			// Cold chunk pool per run, as in AllocTable: rows are comparable
+			// regardless of what ran before them.
+			mem.DrainChunkPool()
+			r := hh.New(opts...)
+			srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
+			res := load.Drive(srv, mix, sessions, requests, size, nil)
+			st := srv.Stats()
+			ops := r.Stats().Ops
+			r.Close()
+
+			rowID := fmt.Sprintf("%s (fastpath %s)", mode, label)
+			if res.Failures > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, rowID))
+			}
+			// The fast paths are an implementation detail: every row must
+			// compute the identical request stream.
+			if refRow == "" {
+				refSum, refRow = res.Checksum, rowID
+			} else if res.Checksum != refSum {
+				failures = append(failures, fmt.Sprintf(
+					"VALIDATION FAILURE: request stream on %s: checksum %x, want %x (%s)",
+					rowID, res.Checksum, refSum, refRow))
+			}
+
+			total := ops.PtrWrites()
+			pct := func(n int64) string {
+				if total == 0 {
+					return "-"
+				}
+				return fmtPct(float64(n) / float64(total))
+			}
+			wPerClimb := "-"
+			if ops.PromoteClimbs > 0 {
+				wPerClimb = fmt.Sprintf("%.2f", float64(ops.WritePtrProm)/float64(ops.PromoteClimbs))
+			}
+			rows = append(rows, []string{
+				mode.String(), label,
+				fmt.Sprintf("%.0f", st.Throughput),
+				fmt.Sprintf("%d", total),
+				pct(ops.WritePtrFast),
+				pct(ops.WritePtrAncestor),
+				pct(ops.WritePtrNonProm),
+				pct(ops.WritePtrProm),
+				fmtPerReq(ops.PromotedBytes(), st.Finished()),
+				fmt.Sprintf("%d", ops.PromoteClimbs),
+				wPerClimb,
+				fmt.Sprintf("%.2f", ops.MeanClimbDepth()),
+			})
+		}
+	}
+	tab := Table{Table: "promote", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Write barrier: fast-path mix and promotion cost under serving load at P=%d (%d in-flight, fast paths on vs off)",
+			o.Procs, sessions)}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(failures) == 0 {
+		fmt.Fprintln(w, "validation: all rows agree on the request-stream checksum")
+	}
+	return nil
+}

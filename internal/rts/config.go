@@ -66,9 +66,19 @@ type Config struct {
 	// chunks per size class. 0 means mem.DefaultCacheChunksPerClass.
 	CacheChunksPerClass int
 
-	// NoWritePtrFastPath forces every pointer write through the master-copy
-	// lookup (ablation of the paper's local-update fast path, §3.3).
-	NoWritePtrFastPath bool
+	// NoBarrierFastPath forces every pointer write through the master-copy
+	// lookup under the heap read lock — the paper-faithful baseline, with
+	// neither the local-update fast path (§3.3) nor the optimistic
+	// ancestor-pointee path, and with promote-buffer batching disabled.
+	// The ablation that measures what the write-barrier fast paths buy
+	// (hhbench -table promote reports both sides).
+	NoBarrierFastPath bool
+
+	// PromoteBufferObjects caps how many staged pointees one promotion lock
+	// climb may serve in a batched pointer write (Task.WritePtrs). 0 means
+	// core.DefaultPromoteBufferObjects; 1 climbs per object (the batching
+	// ablation).
+	PromoteBufferObjects int
 }
 
 // DefaultConfig returns a workable configuration for the given mode.

@@ -135,19 +135,52 @@ func (t *Task) CASWord(p mem.ObjPtr, i int, old, new uint64) bool {
 func (t *Task) WritePtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
 	switch t.rt.cfg.Mode {
 	case ParMem:
-		if t.rt.cfg.NoWritePtrFastPath {
-			core.WritePtrSlow(t.chunkCache(), &t.Ops, p, i, q)
+		if t.rt.cfg.NoBarrierFastPath {
+			core.WritePtrSlow(t.chunkCache(), &t.pbuf, &t.Ops, p, i, q)
 			return
 		}
-		core.WritePtr(t.chunkCache(), t.sh.Current(), &t.Ops, p, i, q)
+		core.WritePtr(t.chunkCache(), t.sh.Current(), &t.pbuf, &t.Ops, p, i, q)
 	case Manticore:
-		core.WritePtr(t.chunkCache(), t.ws.heap, &t.Ops, p, i, q)
+		if t.rt.cfg.NoBarrierFastPath {
+			core.WritePtrSlow(t.chunkCache(), &t.pbuf, &t.Ops, p, i, q)
+			return
+		}
+		core.WritePtr(t.chunkCache(), t.ws.heap, &t.pbuf, &t.Ops, p, i, q)
 	case Seq:
 		t.Ops.WritePtrFast++
 		mem.StorePtrField(p, i, q)
 	default: // STW
 		t.Ops.WritePtrFast++
 		mem.StorePtrFieldAtomic(p, i, q)
+	}
+}
+
+// WritePtrs writes qs[j] into the consecutive mutable pointer fields
+// i+j of p — the batched pointer-write barrier. In the hierarchical modes
+// every write that must promote shares one lock climb per promote-buffer
+// flush (Config.PromoteBufferObjects staged pointees per climb) instead of
+// climbing per object; in the flat modes it is a plain store loop. Each
+// field write is individually linearizable, exactly as a WritePtr loop.
+func (t *Task) WritePtrs(p mem.ObjPtr, i int, qs []mem.ObjPtr) {
+	switch t.rt.cfg.Mode {
+	case ParMem, Manticore:
+		if t.rt.cfg.NoBarrierFastPath {
+			// Paper-faithful baseline: per-object master lookup, no
+			// batching, no fast paths.
+			for j, q := range qs {
+				core.WritePtrSlow(t.chunkCache(), &t.pbuf, &t.Ops, p, i+j, q)
+			}
+			return
+		}
+		core.WritePtrBatch(t.chunkCache(), t.CurrentHeap(), &t.pbuf, &t.Ops, p, i, qs)
+	case Seq:
+		t.Ops.WritePtrFast += int64(len(qs))
+		for j, q := range qs {
+			mem.StorePtrField(p, i+j, q)
+		}
+	default: // STW
+		t.Ops.WritePtrFast += int64(len(qs))
+		mem.StorePtrFieldsAtomic(p, i, qs)
 	}
 }
 

@@ -195,6 +195,7 @@ func (r *Runtime) Run(fn func(*Task) uint64) uint64 {
 // the session's subtree heap, one level under the process super-root.
 func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
 	t := &Task{rt: r, w: w, ses: s}
+	t.pbuf.SetCapacity(r.cfg.PromoteBufferObjects)
 	switch r.cfg.Mode {
 	case ParMem, Seq:
 		t.sh = heap.NewSuperheap(s.heap)
@@ -214,6 +215,7 @@ func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
 // session as the victim.
 func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap, s *Session) *Task {
 	t := &Task{rt: r, w: w, ses: s}
+	t.pbuf.SetCapacity(r.cfg.PromoteBufferObjects)
 	switch r.cfg.Mode {
 	case ParMem:
 		base := heap.NewChild(forkHeap)

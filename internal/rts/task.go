@@ -26,6 +26,11 @@ type Task struct {
 	gcStats gc.Stats
 	gcNanos int64
 
+	// pbuf is the task's promote buffer: the staging area and reusable
+	// scratch for promotion lock climbs (core.PromoteBuf). Task-private, so
+	// the write barrier's slow path allocates nothing in steady state.
+	pbuf core.PromoteBuf
+
 	roots []*mem.ObjPtr
 
 	// pending tracks the frames this task published but has not yet

@@ -3,15 +3,22 @@
 // Command checkdocs validates the repository's markdown cross-references:
 // every relative link target in the given files must exist, and every
 // fragment (#anchor) must match a heading in the target file, using
-// GitHub's heading-slug rules. CI runs it as the docs job:
+// GitHub's heading-slug rules. Additionally, every symbol reference of the
+// form [`pkg.Symbol`](path/to/file.go) — the convention of
+// docs/PAPER-MAP.md — is verified against the linked Go file's AST: the
+// named function, method, type, or value must still be declared there, so
+// the paper-to-code map cannot silently rot. CI runs it as the docs job:
 //
-//	go run ./scripts/checkdocs.go README.md DESIGN.md TUNING.md
+//	go run ./scripts/checkdocs.go README.md DESIGN.md TUNING.md docs/PAPER-MAP.md
 //
 // External links (http/https/mailto) are not fetched.
 package main
 
 import (
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -20,11 +27,78 @@ import (
 
 var (
 	linkRe    = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	symLinkRe = regexp.MustCompile("\\[`([A-Za-z_][A-Za-z0-9_.]*)`\\]\\(([^)#\\s]+\\.go)\\)")
 	headingRe = regexp.MustCompile("(?m)^#{1,6}[ \t]+(.+?)[ \t]*$")
 	codeRe    = regexp.MustCompile("(?s)```.*?```")
 	inlineRe  = regexp.MustCompile("`[^`]*`")
 	slugDrop  = regexp.MustCompile(`[^a-z0-9 _-]`)
 )
+
+// declsOf parses a Go source file and returns the set of names it
+// declares: "Func", "Type", "Var", "Const", and "Recv.Method" for methods
+// (pointer receivers included, star stripped).
+func declsOf(path string) (map[string]bool, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				t := d.Recv.List[0].Type
+				if st, ok := t.(*ast.StarExpr); ok {
+					t = st.X
+				}
+				if gt, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+					t = gt.X
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					name = id.Name + "." + name
+				}
+			}
+			out[name] = true
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					out[s.Name.Name] = true
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						out[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkSymbol verifies one [`pkg.Symbol`](file.go) reference: the part
+// after the package qualifier — "Name" or "Type.Method" — must be declared
+// in the linked file.
+func checkSymbol(sym, goFile string, declCache map[string]map[string]bool) error {
+	decls, ok := declCache[goFile]
+	if !ok {
+		var err error
+		decls, err = declsOf(goFile)
+		if err != nil {
+			return err
+		}
+		declCache[goFile] = decls
+	}
+	parts := strings.Split(sym, ".")
+	if len(parts) < 2 {
+		return fmt.Errorf("symbol %q is not qualified (want pkg.Name or pkg.Type.Method)", sym)
+	}
+	want := strings.Join(parts[1:], ".") // drop the package qualifier
+	if decls[want] {
+		return nil
+	}
+	return fmt.Errorf("symbol %q not declared in %s", want, goFile)
+}
 
 // slug approximates GitHub's heading-anchor algorithm.
 func slug(h string) string {
@@ -53,6 +127,7 @@ func main() {
 		os.Exit(2)
 	}
 	anchorCache := map[string]map[string]bool{}
+	declCache := map[string]map[string]bool{}
 	bad := 0
 	for _, file := range os.Args[1:] {
 		data, err := os.ReadFile(file)
@@ -61,6 +136,17 @@ func main() {
 			os.Exit(2)
 		}
 		text := codeRe.ReplaceAllString(string(data), "")
+		for _, m := range symLinkRe.FindAllStringSubmatch(text, -1) {
+			sym, target := m[1], m[2]
+			goFile := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(goFile); err != nil {
+				continue // broken path: the link pass below reports it
+			}
+			if err := checkSymbol(sym, goFile, declCache); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken symbol reference: %v\n", file, err)
+				bad++
+			}
+		}
 		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
 			target := m[1]
 			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
