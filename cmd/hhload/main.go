@@ -7,12 +7,15 @@
 //	hhload -mode all -procs 4 -sessions 8 -requests 96
 //	hhload -mode parmem -mix fan=1 -promote-buffer 1   # batching ablation
 //	hhload -mode all -nofastpath                       # barrier ablation
+//	hhload -mode all -procs-sweep 2,8 -mix kv=2,bfs=1,hist=1,fan=1
+//	                                                   # high-P cross-validation
 //
 // For every runtime mode it reports serving statistics (throughput,
 // latency quantiles, peak concurrency), the runtime's session,
 // zone-concurrency, allocator, and write-barrier counters, and it FAILS
 // (exit 1) if any request
-// miscomputes, if the per-request checksum stream diverges between modes,
+// miscomputes, if the per-request checksum stream diverges between modes
+// (or, with -procs-sweep, between any mode at any P and the first run),
 // if chunk occupancy does not return to baseline after Drain, or if parmem
 // never collected two session subtrees concurrently (disable with
 // -min-zone-sessions 0).
@@ -23,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/hh"
@@ -47,13 +52,37 @@ func main() {
 		"force every pointer write through the master-copy lookup (barrier fast-path ablation)")
 	promoteBuf := flag.Int("promote-buffer", 0,
 		"staged pointees per promotion lock climb (0 = default 32, 1 = no batching)")
+	procsSweep := flag.String("procs-sweep", "",
+		"comma-separated worker counts; run every mode at each P and require one checksum (overrides -procs)")
 	flag.Parse()
 
-	// The pool simulates *procs processors; give the Go scheduler at least
-	// as many, so disjoint session collections can overlap in wall time
-	// even when the host has fewer cores.
-	if runtime.GOMAXPROCS(0) < *procs {
-		runtime.GOMAXPROCS(*procs)
+	// With -procs-sweep the request stream is fixed while P varies, so the
+	// checksum comparison proves the systems compute the same answers at
+	// high P as at the P=2 baseline.
+	sweep := []int{*procs}
+	if *procsSweep != "" {
+		sweep = sweep[:0]
+		for _, f := range strings.Split(*procsSweep, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "bad -procs-sweep entry %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, p)
+		}
+	}
+	maxP := 0
+	for _, p := range sweep {
+		if p > maxP {
+			maxP = p
+		}
+	}
+
+	// The pool simulates up to maxP processors; give the Go scheduler at
+	// least as many, so disjoint session collections can overlap in wall
+	// time even when the host has fewer cores.
+	if runtime.GOMAXPROCS(0) < maxP {
+		runtime.GOMAXPROCS(maxP)
 	}
 
 	mix, err := load.ParseMix(*mixSpec)
@@ -75,31 +104,37 @@ func main() {
 
 	failed := false
 	var refSum uint64
-	var refMode string
-	for _, mode := range modes {
-		sum, ok := driveMode(mode, *procs, *sessions, *requests, *size, mix, *budget,
-			*gcMin, *gcRatio, *minZoneSessions, *noPool, *noFast, *promoteBuf)
-		if !ok {
-			failed = true
+	var refRun string
+	for _, p := range sweep {
+		if len(sweep) > 1 {
+			fmt.Printf("== P=%d ==\n", p)
 		}
-		// Every mode must hand all chunks back once its runtime closes.
-		if got := hh.ChunksInUse(); got != 0 {
-			fmt.Fprintf(os.Stderr, "%s: LEAK: %d chunks in use after Close\n", mode, got)
-			failed = true
-		}
-		if refMode == "" {
-			refSum, refMode = sum, mode.String()
-		} else if sum != refSum {
-			fmt.Fprintf(os.Stderr, "CHECKSUM DIVERGENCE: %s total %x, %s total %x\n",
-				mode, sum, refMode, refSum)
-			failed = true
+		for _, mode := range modes {
+			sum, ok := driveMode(mode, p, *sessions, *requests, *size, mix, *budget,
+				*gcMin, *gcRatio, *minZoneSessions, *noPool, *noFast, *promoteBuf)
+			if !ok {
+				failed = true
+			}
+			// Every mode must hand all chunks back once its runtime closes.
+			if got := hh.ChunksInUse(); got != 0 {
+				fmt.Fprintf(os.Stderr, "%s: LEAK: %d chunks in use after Close\n", mode, got)
+				failed = true
+			}
+			run := fmt.Sprintf("%s@P=%d", mode, p)
+			if refRun == "" {
+				refSum, refRun = sum, run
+			} else if sum != refSum {
+				fmt.Fprintf(os.Stderr, "CHECKSUM DIVERGENCE: %s total %x, %s total %x\n",
+					run, sum, refRun, refSum)
+				failed = true
+			}
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("hhload ok: %d requests x %d mode(s), stream checksum %x\n",
-		*requests, len(modes), refSum)
+	fmt.Printf("hhload ok: %d requests x %d mode(s) x %d proc count(s), stream checksum %x\n",
+		*requests, len(modes), len(sweep), refSum)
 }
 
 // driveMode runs one closed loop against one runtime mode and returns the

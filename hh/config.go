@@ -74,6 +74,27 @@ func WithMaxConcurrentZones(n int) Option {
 	return func(c *rts.Config) { c.MaxConcurrentZones = n }
 }
 
+// WithZoneStripes sets how many lock stripes the zone scheduler spreads
+// its admission bookkeeping over (rounded up to a power of two, at most
+// 64). 0 selects the default (16). 1 reproduces a single scheduler-wide
+// admission mutex — the ablation that measures what striped admission
+// buys at high P. Admission stripes do not change WHAT may run
+// concurrently (disjointness and the WithMaxConcurrentZones cap decide
+// that), only how much the admission bookkeeping itself serializes.
+func WithZoneStripes(n int) Option {
+	return func(c *rts.Config) { c.ZoneStripes = n }
+}
+
+// WithChunkPoolShards sets how many free-list shards the global chunk pool
+// spreads over (at most 64). 0 selects the default, one shard per worker.
+// Workers overflow to and acquire from a home shard and steal batches from
+// the others on a miss, so the pool's high-water limit and recycling
+// behaviour are unchanged — only its lock granularity. Process-global,
+// like the pool limit; applies for this runtime's lifetime.
+func WithChunkPoolShards(n int) Option {
+	return func(c *rts.Config) { c.PoolShards = n }
+}
+
 // WithSTWTrigger sets the stop-the-world trigger (STW mode): collect when
 // global occupancy exceeds max(floorBytes, ratio × live-after-last-GC).
 func WithSTWTrigger(floorBytes int64, ratio float64) Option {

@@ -2,7 +2,9 @@ package gc
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/heap"
@@ -21,6 +23,18 @@ import (
 // A collecting task never parks the world. It holds exactly its zone's
 // write locks (heap.LockZone, deepest first), so tasks in other subtrees
 // keep allocating, mutating, promoting, and stealing throughout.
+//
+// Admission is STRIPED: the in-flight heap set is split over stripeCount
+// stripes keyed by heap ID, and admitting a zone locks only the stripes
+// its heaps map to — in ascending stripe order, so any two admissions
+// acquire their common stripes in the same total order and cannot
+// deadlock. Disjoint zones whose heaps land on different stripes admit
+// and release in parallel; before striping every admission serialized on
+// one scheduler-wide mutex even though the zones shared nothing. The
+// admission cap is one atomic reservation, and the statistics that are
+// inherently global (overlap wall-clock spans, distinct-session tracking)
+// live behind a separate short mutex doing constant work per collection —
+// never O(zone heaps).
 
 // ZoneKind classifies a zone collection for the statistics.
 type ZoneKind int
@@ -60,42 +74,178 @@ type ZoneStats struct {
 	MaxConcurrentSessions int64 // peak number of DISTINCT sessions collecting at once
 }
 
+// DefaultZoneStripes is the admission stripe count used when the caller
+// does not choose one. Sixteen stripes keep the chance of two disjoint
+// zones colliding on a stripe low at any plausible worker count while the
+// per-zone stripe set still fits a word.
+const DefaultZoneStripes = 16
+
+// MaxZoneStripes is the hard bound on admission stripes: stripe sets are
+// represented as one 64-bit mask.
+const MaxZoneStripes = 64
+
+// admitStripe is one lock's worth of the in-flight heap set, padded so
+// neighbouring stripes' mutexes do not share a cache line.
+type admitStripe struct {
+	mu     sync.Mutex
+	active map[*heap.Heap]struct{}
+	_      [64]byte
+}
+
 // ZoneScheduler admits disjoint zone collections and accounts for their
 // overlap. One scheduler serves one runtime.
 type ZoneScheduler struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	maxZones int  // admission cap; <= 0 means unlimited
+	shift    uint // 64 - log2(len(stripes)), for the multiplicative hash
+	stripes  []admitStripe
 
-	maxZones int                     // admission cap; <= 0 means unlimited
-	active   map[*heap.Heap]struct{} // heaps of in-flight zones
-	nActive  int                     // in-flight zone count
-	families map[uint64]int          // in-flight zone count per session family
-	overlap  time.Time               // start of the current >=2-zone span
+	nActive atomic.Int64 // in-flight zone count (cap reservation + gauge)
 
-	stats ZoneStats
+	// Waiter wakeup. A failed admission registers in waiters, re-checks
+	// (so a release that ran in between is not missed), then sleeps until
+	// the generation counter moves. Releases bump the generation only when
+	// waiters is nonzero, so the uncontended release path never touches
+	// waitMu.
+	waitMu  sync.Mutex
+	waitGen uint64
+	cond    *sync.Cond
+	waiters atomic.Int32
+
+	// Inherently global statistics: wall-clock overlap spans and
+	// distinct-session tracking need a serialized view of zone-count
+	// transitions, and the completed-zone counters are cheapest batched
+	// under the same short lock. Constant work per collection.
+	statsMu   sync.Mutex
+	curActive int            // mirror of in-flight count for span transitions
+	families  map[uint64]int // in-flight zone count per session family
+	overlap   time.Time      // start of the current >=2-zone span
+	stats     ZoneStats
 }
 
 // NewZoneScheduler creates a scheduler admitting at most maxConcurrent
-// zones at once (<= 0 for no cap beyond disjointness).
+// zones at once (<= 0 for no cap beyond disjointness), with the default
+// admission stripe count.
 func NewZoneScheduler(maxConcurrent int) *ZoneScheduler {
+	return NewZoneSchedulerWithStripes(maxConcurrent, DefaultZoneStripes)
+}
+
+// NewZoneSchedulerWithStripes creates a scheduler with an explicit
+// admission stripe count, rounded up to a power of two and clamped to
+// [1, MaxZoneStripes]. One stripe reproduces the pre-striping scheduler's
+// fully serialized admission (useful for deterministic tests).
+func NewZoneSchedulerWithStripes(maxConcurrent, stripes int) *ZoneScheduler {
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > MaxZoneStripes {
+		stripes = MaxZoneStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
 	s := &ZoneScheduler{
 		maxZones: maxConcurrent,
-		active:   make(map[*heap.Heap]struct{}),
+		shift:    uint(64 - bits.TrailingZeros(uint(n))),
+		stripes:  make([]admitStripe, n),
 		families: make(map[uint64]int),
 	}
-	s.cond = sync.NewCond(&s.mu)
+	if n == 1 {
+		s.shift = 64
+	}
+	for i := range s.stripes {
+		s.stripes[i].active = make(map[*heap.Heap]struct{})
+	}
+	s.cond = sync.NewCond(&s.waitMu)
 	return s
 }
 
-// overlaps reports whether any zone heap is part of an in-flight zone.
-// Caller holds s.mu.
-func (s *ZoneScheduler) overlaps(zone []*heap.Heap) bool {
+// Stripes returns the scheduler's admission stripe count.
+func (s *ZoneScheduler) Stripes() int { return len(s.stripes) }
+
+// stripeFor maps a heap to its admission stripe. Heap IDs are sequential,
+// so a multiplicative (Fibonacci) hash spreads consecutive IDs — which are
+// exactly the heaps a burst of sibling tasks creates — across stripes.
+func (s *ZoneScheduler) stripeFor(h *heap.Heap) int {
+	if s.shift >= 64 {
+		return 0
+	}
+	return int((h.ID() * 0x9E3779B97F4A7C15) >> s.shift)
+}
+
+// stripeSet returns the zone's stripes as a bitmask; iterating its set
+// bits from least significant up IS the ascending lock order.
+func (s *ZoneScheduler) stripeSet(zone []*heap.Heap) uint64 {
+	var set uint64
 	for _, h := range zone {
-		if _, busy := s.active[h]; busy {
-			return true
+		set |= 1 << uint(s.stripeFor(h))
+	}
+	return set
+}
+
+// lockStripes acquires the stripes in set in ascending index order — the
+// total order that makes striped admission deadlock-free (two admissions
+// contending for the same stripes always take their first common stripe
+// first).
+func (s *ZoneScheduler) lockStripes(set uint64) {
+	for m := set; m != 0; m &= m - 1 {
+		s.stripes[bits.TrailingZeros64(m)].mu.Lock()
+	}
+}
+
+func (s *ZoneScheduler) unlockStripes(set uint64) {
+	for m := set; m != 0; m &= m - 1 {
+		s.stripes[bits.TrailingZeros64(m)].mu.Unlock()
+	}
+}
+
+// tryAdmit attempts one admission: reserve a cap slot, lock the zone's
+// stripes, verify disjointness from every in-flight zone, and mark the
+// zone's heaps. Returns false (with the reservation rolled back) when the
+// cap is full or the zone intersects an in-flight collection.
+func (s *ZoneScheduler) tryAdmit(zone []*heap.Heap, set uint64, family uint64) bool {
+	if s.maxZones > 0 {
+		for {
+			n := s.nActive.Load()
+			if int(n) >= s.maxZones {
+				return false
+			}
+			if s.nActive.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		s.nActive.Add(1)
+	}
+	s.lockStripes(set)
+	for _, h := range zone {
+		if _, busy := s.stripes[s.stripeFor(h)].active[h]; busy {
+			s.unlockStripes(set)
+			s.nActive.Add(-1)
+			return false
 		}
 	}
-	return false
+	for _, h := range zone {
+		s.stripes[s.stripeFor(h)].active[h] = struct{}{}
+	}
+	s.unlockStripes(set)
+
+	s.statsMu.Lock()
+	s.curActive++
+	if int64(s.curActive) > s.stats.MaxConcurrent {
+		s.stats.MaxConcurrent = int64(s.curActive)
+	}
+	if family != 0 {
+		s.families[family]++
+		if n := int64(len(s.families)); n > s.stats.MaxConcurrentSessions {
+			s.stats.MaxConcurrentSessions = n
+		}
+	}
+	if s.curActive == 2 {
+		s.overlap = time.Now()
+	}
+	s.statsMu.Unlock()
+	return true
 }
 
 // Admit blocks until the zone is disjoint from every in-flight collection
@@ -109,51 +259,65 @@ func (s *ZoneScheduler) overlaps(zone []*heap.Heap) bool {
 // session zone); the scheduler tracks how many distinct sessions collect
 // simultaneously.
 func (s *ZoneScheduler) Admit(zone []*heap.Heap, family uint64) {
-	s.mu.Lock()
-	for s.overlaps(zone) || (s.maxZones > 0 && s.nActive >= s.maxZones) {
-		s.cond.Wait()
-	}
-	for _, h := range zone {
-		s.active[h] = struct{}{}
-	}
-	s.nActive++
-	if int64(s.nActive) > s.stats.MaxConcurrent {
-		s.stats.MaxConcurrent = int64(s.nActive)
-	}
-	if family != 0 {
-		s.families[family]++
-		if n := int64(len(s.families)); n > s.stats.MaxConcurrentSessions {
-			s.stats.MaxConcurrentSessions = n
+	set := s.stripeSet(zone)
+	for {
+		if s.tryAdmit(zone, set, family) {
+			return
 		}
+		// Register as a waiter, then re-check: a release between the
+		// failed attempt above and the registration would otherwise have
+		// run before anyone it could wake (the classic lost wakeup).
+		s.waitMu.Lock()
+		gen := s.waitGen
+		s.waiters.Add(1)
+		s.waitMu.Unlock()
+		if s.tryAdmit(zone, set, family) {
+			s.waiters.Add(-1)
+			return
+		}
+		s.waitMu.Lock()
+		for s.waitGen == gen {
+			s.cond.Wait()
+		}
+		s.waitMu.Unlock()
+		s.waiters.Add(-1)
 	}
-	if s.nActive == 2 {
-		s.overlap = time.Now()
-	}
-	s.mu.Unlock()
 }
 
 // Release takes the zone out of flight and wakes waiting admissions. The
 // family must match the zone's Admit.
 func (s *ZoneScheduler) Release(zone []*heap.Heap, family uint64) {
-	s.mu.Lock()
+	set := s.stripeSet(zone)
+	s.lockStripes(set)
 	for _, h := range zone {
-		if _, busy := s.active[h]; !busy {
-			s.mu.Unlock()
+		str := &s.stripes[s.stripeFor(h)]
+		if _, busy := str.active[h]; !busy {
+			s.unlockStripes(set)
 			panic(fmt.Sprintf("gc: releasing heap %v that is not in flight", h))
 		}
-		delete(s.active, h)
+		delete(str.active, h)
 	}
+	s.unlockStripes(set)
+
+	s.statsMu.Lock()
 	if family != 0 {
 		if s.families[family]--; s.families[family] <= 0 {
 			delete(s.families, family)
 		}
 	}
-	if s.nActive == 2 {
+	if s.curActive == 2 {
 		s.stats.OverlapNanos += time.Since(s.overlap).Nanoseconds()
 	}
-	s.nActive--
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	s.curActive--
+	s.statsMu.Unlock()
+	s.nActive.Add(-1)
+
+	if s.waiters.Load() > 0 {
+		s.waitMu.Lock()
+		s.waitGen++
+		s.waitMu.Unlock()
+		s.cond.Broadcast()
+	}
 }
 
 // CollectZone runs one concurrent zone collection: admission, zone write
@@ -192,7 +356,7 @@ func (s *ZoneScheduler) CollectSessionZone(cc *mem.ChunkCache, family uint64, zo
 	dur := time.Since(start).Nanoseconds()
 	s.Release(z, family)
 
-	s.mu.Lock()
+	s.statsMu.Lock()
 	s.stats.Zones++
 	if kind == JoinZone {
 		s.stats.JoinZones++
@@ -204,16 +368,16 @@ func (s *ZoneScheduler) CollectSessionZone(cc *mem.ChunkCache, family uint64, zo
 	}
 	s.stats.WordsCopied += st.WordsCopied
 	s.stats.ZoneNanos += dur
-	s.mu.Unlock()
+	s.statsMu.Unlock()
 	return st
 }
 
 // Snapshot returns the scheduler's aggregate statistics so far.
 func (s *ZoneScheduler) Snapshot() ZoneStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	st := s.stats
-	if s.nActive >= 2 {
+	if s.curActive >= 2 {
 		st.OverlapNanos += time.Since(s.overlap).Nanoseconds()
 	}
 	return st
@@ -221,7 +385,5 @@ func (s *ZoneScheduler) Snapshot() ZoneStats {
 
 // InFlight returns the number of zone collections currently admitted.
 func (s *ZoneScheduler) InFlight() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.nActive
+	return int(s.nActive.Load())
 }

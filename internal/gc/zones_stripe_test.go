@@ -1,0 +1,148 @@
+package gc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+)
+
+// Striped-admission tests: the scheduler's contract — disjoint zones
+// overlap, intersecting zones serialize, the cap holds, Release panics on
+// a zone that was never admitted — must be independent of how many lock
+// stripes the bookkeeping is spread over, and admission under contention
+// must not starve anyone.
+
+func TestZoneSchedulerStripeClamps(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {3, 4}, {16, 16}, {33, 64}, {1000, 64},
+	} {
+		if got := NewZoneSchedulerWithStripes(0, tc.in).Stripes(); got != tc.want {
+			t.Errorf("stripes(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewZoneScheduler(0).Stripes(); got != DefaultZoneStripes {
+		t.Errorf("default stripes = %d, want %d", got, DefaultZoneStripes)
+	}
+}
+
+// TestStripedDisjointZonesAllAdmit: with no cap, N disjoint single-heap
+// zones must all be in flight simultaneously — admission never blocks a
+// zone on stripe traffic alone, only on genuine heap overlap or the cap.
+func TestStripedDisjointZonesAllAdmit(t *testing.T) {
+	for _, stripes := range []int{1, 4, 64} {
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			root := heap.NewRoot()
+			s := NewZoneSchedulerWithStripes(0, stripes)
+			const n = 16
+			zones := make([][]*heap.Heap, n)
+			for i := range zones {
+				zones[i] = []*heap.Heap{heap.NewChild(root)}
+			}
+			var wg sync.WaitGroup
+			for _, z := range zones {
+				wg.Add(1)
+				go func(z []*heap.Heap) {
+					defer wg.Done()
+					s.Admit(z, 0)
+				}(z)
+			}
+			wg.Wait() // every Admit returned: nothing serialized on a stripe
+			if got := s.InFlight(); got != n {
+				t.Fatalf("in flight = %d, want %d", got, n)
+			}
+			for _, z := range zones {
+				s.Release(z, 0)
+			}
+			if st := s.Snapshot(); st.MaxConcurrent != n {
+				t.Fatalf("MaxConcurrent = %d, want %d", st.MaxConcurrent, n)
+			}
+		})
+	}
+}
+
+// TestStripedIntersectingZonesSerialize: two zones sharing one heap must
+// serialize even when their other heaps spread over different stripes.
+// Deterministic: no interleaving can drive MaxConcurrent to 2.
+func TestStripedIntersectingZonesSerialize(t *testing.T) {
+	root := heap.NewRoot()
+	shared := heap.NewChild(root)
+	zoneA := []*heap.Heap{shared}
+	zoneB := []*heap.Heap{shared}
+	for i := 0; i < 8; i++ { // spread each zone over many stripes
+		zoneA = append(zoneA, heap.NewChild(shared))
+		zoneB = append(zoneB, heap.NewChild(shared))
+	}
+	s := NewZoneSchedulerWithStripes(0, 64)
+
+	s.Admit(zoneA, 0)
+	ch := admitted(s, zoneB)
+	time.Sleep(time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("intersecting zone admitted while the first was in flight")
+	default:
+	}
+	s.Release(zoneA, 0)
+	waitAdmitted(t, ch, "intersecting zone after release")
+	s.Release(zoneB, 0)
+
+	if st := s.Snapshot(); st.MaxConcurrent != 1 {
+		t.Fatalf("intersecting zones ran concurrently: MaxConcurrent = %d", st.MaxConcurrent)
+	}
+}
+
+// TestStripedAdmissionFairness: N workers with pairwise-disjoint zones
+// contending on a tight admission cap must ALL complete their collections
+// within a bound — the generation-based wakeup may not strand a waiter
+// (lost wakeup) or starve one arbitrarily long.
+func TestStripedAdmissionFairness(t *testing.T) {
+	const (
+		workers = 24
+		rounds  = 50
+		cap     = 3
+	)
+	root := heap.NewRoot()
+	s := NewZoneSchedulerWithStripes(cap, 16)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		zone := []*heap.Heap{heap.NewChild(root)}
+		wg.Add(1)
+		go func(zone []*heap.Heap) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				s.Admit(zone, 0)
+				if got := s.InFlight(); got > cap {
+					t.Errorf("cap %d violated: %d in flight", cap, got)
+				}
+				s.Release(zone, 0)
+			}
+		}(zone)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("admission starved: %d zones still in flight after 60s", s.InFlight())
+	}
+	if st := s.Snapshot(); st.MaxConcurrent > cap {
+		t.Fatalf("MaxConcurrent = %d, want <= cap %d", st.MaxConcurrent, cap)
+	}
+}
+
+// TestStripedReleasePanicsOnUnadmittedZone: the not-in-flight panic is the
+// scheduler's defense against release/admit pairing bugs; striping must
+// not soften it.
+func TestStripedReleasePanicsOnUnadmittedZone(t *testing.T) {
+	root := heap.NewRoot()
+	s := NewZoneSchedulerWithStripes(0, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a never-admitted zone did not panic")
+		}
+	}()
+	s.Release([]*heap.Heap{heap.NewChild(root)}, 0)
+}

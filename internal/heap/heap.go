@@ -2,7 +2,6 @@ package heap
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/mem"
@@ -26,10 +25,9 @@ type Heap struct {
 	merged atomic.Pointer[Heap] // union-find link set by Join
 
 	// Child registry for super-root heaps (superroot.go): session subtrees
-	// attach here so shutdown can find abandoned ones. Nil for every heap
-	// that never had a child attached.
-	childMu  sync.Mutex
-	children map[*Heap]struct{}
+	// attach here so shutdown can find abandoned ones. Lazily installed on
+	// first attach; nil for every heap that never had a child attached.
+	childReg atomic.Pointer[childRegistry]
 
 	head      *mem.Chunk // oldest chunk
 	tail      *mem.Chunk // newest chunk; allocation target

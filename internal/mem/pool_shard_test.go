@@ -1,0 +1,228 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+// The sharded-pool invariant tests: everything the recycling allocator
+// promises — double-release panics, stale-ObjPtr invalidation, used-prefix
+// re-zeroing, exact pooled-byte accounting — must keep holding when slabs
+// migrate between pool shards under cross-shard steals. Tests build
+// ChunkCaches with explicit home shards (same-package access) so the
+// migration paths are deterministic.
+
+// cacheAtHome builds a worker cache pinned to a pool shard, bypassing the
+// round-robin assignment so tests control exactly which shard each side of
+// a steal uses. perClass 0 means the cache holds nothing and every recycle
+// overflows straight to its home shard.
+func cacheAtHome(home, perClass int) *ChunkCache {
+	return &ChunkCache{perClass: perClass, home: home}
+}
+
+// parkOnShard recycles n fresh chunks of the smallest class through a
+// cache homed on the given shard (capacity 0, so they all land in the
+// pool), returning their IDs in park order.
+func parkOnShard(t *testing.T, home, n int) []uint32 {
+	t.Helper()
+	cc := cacheAtHome(home, 0)
+	chunks := make([]*Chunk, n)
+	for i := range chunks {
+		chunks[i] = AcquireChunk(cc, MinChunkWords)
+	}
+	ids := make([]uint32, n)
+	for i, c := range chunks {
+		ids[i] = c.ID()
+		RecycleChunk(cc, c)
+	}
+	return ids
+}
+
+func TestShardStealServesMiss(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(2)
+	parkOnShard(t, 0, 1)
+
+	before := AllocSnapshot()
+	c := AcquireChunk(cacheAtHome(1, 0), MinChunkWords) // home shard 1 is empty
+	delta := AllocSnapshot().Sub(before)
+	if delta.PoolHits != 1 || delta.FreshChunks != 0 {
+		t.Fatalf("miss on home shard must be served by a steal, not a fresh alloc: %+v", delta)
+	}
+	if delta.ShardSteals == 0 {
+		t.Fatalf("cross-shard service not counted as a steal: %+v", delta)
+	}
+	if GetChunk(c.ID()) != c {
+		t.Fatal("stolen slab not re-registered")
+	}
+	RecycleChunk(nil, c)
+}
+
+func TestShardStealMigratesBatchToHome(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(2)
+	parkOnShard(t, 0, poolStealBatch+2)
+
+	home := cacheAtHome(1, 0)
+	before := AllocSnapshot()
+	c1 := AcquireChunk(home, MinChunkWords) // steal: serves one, migrates extras
+	afterSteal := AllocSnapshot().Sub(before)
+	if afterSteal.ShardSteals != poolStealBatch {
+		t.Fatalf("steal batch = %d slabs, want %d", afterSteal.ShardSteals, poolStealBatch)
+	}
+	c2 := AcquireChunk(home, MinChunkWords) // must now hit the home shard
+	delta := AllocSnapshot().Sub(before)
+	if delta.ShardSteals != poolStealBatch {
+		t.Fatalf("post-migration acquire stole again: %d steals, want %d", delta.ShardSteals, poolStealBatch)
+	}
+	if delta.PoolHits != 2 {
+		t.Fatalf("pool hits = %d, want 2", delta.PoolHits)
+	}
+	RecycleChunk(nil, c1)
+	RecycleChunk(nil, c2)
+}
+
+func TestDoubleRecyclePanicsAfterShardMigration(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(2)
+
+	ccA := cacheAtHome(0, 0)
+	stale := AcquireChunk(ccA, MinChunkWords)
+	id := stale.ID()
+	RecycleChunk(ccA, stale) // parked on shard 0, entry invalidated
+
+	reborn := AcquireChunk(cacheAtHome(1, 0), MinChunkWords) // stolen into home 1
+	if reborn.ID() != id {
+		t.Fatalf("steal returned slab %d, want the parked slab %d", reborn.ID(), id)
+	}
+	// The stale *Chunk from the slab's previous life must not be able to
+	// release the slab's next life: its directory CAS sees a different
+	// Chunk object and panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double recycle after cross-shard reuse did not panic")
+			}
+		}()
+		RecycleChunk(nil, stale)
+	}()
+	RecycleChunk(nil, reborn)
+}
+
+func TestStaleObjPtrPanicsWhileParkedOnForeignShard(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(2)
+	ids := parkOnShard(t, 0, 3)
+
+	// The steal serves the newest slab and migrates the older ones into
+	// shard 1; those stay PARKED — unregistered — on a shard their
+	// recycler never touched. A surviving pointer into one must still
+	// panic exactly as it did before sharding.
+	c := AcquireChunk(cacheAtHome(1, 0), MinChunkWords)
+	if c.ID() != ids[2] {
+		t.Fatalf("steal returned %d, want newest parked slab %d", c.ID(), ids[2])
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stale ID into a migrated parked slab did not panic")
+			}
+		}()
+		GetChunk(ids[0])
+	}()
+	RecycleChunk(nil, c)
+}
+
+func TestRecycledSlabZeroedAfterShardMigration(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(2)
+
+	ccA := cacheAtHome(0, 0)
+	c := AcquireChunk(ccA, MinChunkWords)
+	if off, ok := c.Bump(8); !ok || off != 0 {
+		t.Fatalf("bump failed: %d %v", off, ok)
+	}
+	for i := 0; i < 8; i++ {
+		c.Data[i] = ^uint64(0)
+	}
+	RecycleChunk(ccA, c)
+
+	reborn := AcquireChunk(cacheAtHome(1, 0), MinChunkWords) // cross-shard steal
+	for i := 0; i < 8; i++ {
+		if reborn.Data[i] != 0 {
+			t.Fatalf("word %d not re-zeroed after cross-shard reuse: %#x", i, reborn.Data[i])
+		}
+	}
+	if reborn.Used() != 0 {
+		t.Fatalf("reborn slab Used = %d, want 0", reborn.Used())
+	}
+	RecycleChunk(nil, reborn)
+}
+
+func TestSetChunkPoolShardsMigratesParkedSlabs(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(4)
+	parkOnShard(t, 2, 2)
+	parkOnShard(t, 3, 1)
+	if got := PooledBytes(); got == 0 {
+		t.Fatal("nothing parked")
+	}
+
+	// Shrinking the shard count must move slabs parked above the new range
+	// into it, so single-shard gets still find all three.
+	SetChunkPoolShards(1)
+	before := AllocSnapshot()
+	for i := 0; i < 3; i++ {
+		c := AcquireChunk(nil, MinChunkWords)
+		RecycleChunk(nil, c)
+	}
+	delta := AllocSnapshot().Sub(before)
+	if delta.PoolHits != 3 || delta.FreshChunks != 0 {
+		t.Fatalf("slabs stranded by shard shrink: %+v", delta)
+	}
+}
+
+func TestShardedPoolAccountingExactUnderContention(t *testing.T) {
+	resetPool(t)
+	SetChunkPoolShards(4)
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	liveBefore, pooledBefore := LiveBytes(), PooledBytes()
+	inUseBefore := ChunksInUse()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc := NewChunkCache(2)
+			for i := 0; i < rounds; i++ {
+				a := AcquireChunk(cc, MinChunkWords)
+				b := AcquireChunk(cc, 4*MinChunkWords)
+				a.Bump(4)
+				a.Data[0] = uint64(w)
+				RecycleChunk(cc, a)
+				RecycleChunk(cc, b)
+			}
+			cc.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if got := LiveBytes(); got != liveBefore {
+		t.Fatalf("LiveBytes = %d after balanced churn, want %d", got, liveBefore)
+	}
+	if got := ChunksInUse(); got != inUseBefore {
+		t.Fatalf("ChunksInUse = %d after balanced churn, want %d", got, inUseBefore)
+	}
+	if got := PooledBytes(); got < pooledBefore {
+		t.Fatalf("PooledBytes = %d, want >= %d", got, pooledBefore)
+	}
+	if hw, live := HighWaterBytes(), LiveBytes(); hw < live {
+		t.Fatalf("high water %d below live %d", hw, live)
+	}
+	drained := DrainChunkPool()
+	if got := PooledBytes(); got != 0 {
+		t.Fatalf("PooledBytes = %d after drain (%d slabs), want 0", got, drained)
+	}
+}

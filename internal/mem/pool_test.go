@@ -4,14 +4,17 @@ import (
 	"testing"
 )
 
-// resetPool drains the global pool and restores the default limit, so
-// tests that count pool contents do not see other tests' slabs.
+// resetPool drains the global pool and restores the default limit and a
+// single free-list shard, so tests that count pool contents do not see
+// other tests' slabs (or shard layouts).
 func resetPool(t *testing.T) {
 	t.Helper()
 	SetChunkPoolLimit(DefaultPoolLimitBytes)
+	SetChunkPoolShards(1)
 	DrainChunkPool()
 	t.Cleanup(func() {
 		SetChunkPoolLimit(DefaultPoolLimitBytes)
+		SetChunkPoolShards(1)
 		DrainChunkPool()
 	})
 }

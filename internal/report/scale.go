@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+	"repro/internal/mem"
+)
+
+// ScaleTable sweeps worker count for the hierarchical system: the same
+// closed-loop request stream (kv-churn, bfs, histogram, fan-out — fixed
+// request count and sizes, so every row must produce the same checksum)
+// drives an hh/serve.Server on mlton-parmem at P = 2, 4, 8, ... up to
+// Options.Procs. Each row reports throughput and the serialization
+// tell-tales: GC share of processor time, peak concurrent zones and
+// distinct sessions collecting at once (do they actually grow with P?),
+// the write-barrier fast-path rate, chunk recycling, cross-shard pool
+// steals, and directory-lock operations per request. This is the table
+// that motivated sharding the admission, child-registry, pool, and
+// accounting locks; rerun it when touching any shared structure on the
+// serving path.
+//
+// The in-flight session cap scales with P (2P, floor 8) while the request
+// stream stays fixed, so req/s is comparable across rows and speedup is
+// reported against the P=2 row.
+func ScaleTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	maxP := o.Procs
+	if maxP < 2 {
+		maxP = 2
+	}
+	var sweep []int
+	for p := 2; p < maxP; p *= 2 {
+		sweep = append(sweep, p)
+	}
+	sweep = append(sweep, maxP)
+
+	mix, err := load.ParseMix("kv=2,bfs=1,hist=1,fan=1")
+	if err != nil {
+		return err
+	}
+	requests, size := 24*maxSessions(maxP), 1000
+	if o.Paper {
+		requests *= 4
+	}
+	if runtime.GOMAXPROCS(0) < maxP {
+		runtime.GOMAXPROCS(maxP) // the sweep is about parallel wall time
+	}
+	mem.DrainChunkPool() // cold pool: rows tell a consistent recycle story
+
+	header := []string{"P", "sess", "req/s", "spd-vs-P2", "gc%",
+		"peak-cc-zones", "cc-sess", "barrier-fast%", "recycle%",
+		"pool-steals", "dirops/req"}
+	var rows [][]string
+	var failures []string
+	var refSum uint64
+	var baseRate float64
+	for _, p := range sweep {
+		sessions := maxSessions(p)
+		r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(p), hh.WithGCPolicy(2048, 1.25))
+		srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
+		res := load.Drive(srv, mix, sessions, requests, size, nil)
+		st := srv.Stats()
+		rt := r.Stats()
+		r.Close()
+
+		if res.Failures > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: %d request(s) failed at P=%d", res.Failures, p))
+		}
+		if refSum == 0 {
+			refSum = res.Checksum
+		} else if res.Checksum != refSum {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: request stream at P=%d: checksum %x, want %x (P=%d baseline)",
+				p, res.Checksum, refSum, sweep[0]))
+		}
+		gcFrac := 0.0
+		if cpu := float64(p) * res.Elapsed.Seconds(); cpu > 0 {
+			gcFrac = float64(rt.GCNanos) / 1e9 / cpu
+		}
+		if baseRate == 0 {
+			baseRate = st.Throughput
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", sessions),
+			fmt.Sprintf("%.0f", st.Throughput),
+			fmtRatio(st.Throughput, baseRate),
+			fmtPct(gcFrac),
+			fmt.Sprintf("%d", rt.Zones.MaxConcurrent),
+			fmt.Sprintf("%d", rt.Zones.MaxConcurrentSessions),
+			fmtPct(rt.Ops.BarrierFastRate()),
+			fmtPct(rt.Alloc.RecycleRate()),
+			fmt.Sprintf("%d", rt.Alloc.ShardSteals),
+			fmtPerReq(rt.Alloc.DirIDOps, st.Finished()),
+		})
+	}
+	tab := Table{Table: "scale", Procs: maxP, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Scaling: mlton-parmem serve throughput vs P (fixed %d-request kv/bfs/hist/fan stream, host GOMAXPROCS cap %d)",
+			requests, runtime.NumCPU())}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(failures) == 0 {
+		fmt.Fprintln(w, "validation: every P produces the baseline checksum")
+	}
+	return nil
+}
+
+// maxSessions is the in-flight session cap the scale sweep uses at P
+// workers: two per worker with a floor of eight, matching the serve table.
+func maxSessions(p int) int {
+	if s := 2 * p; s > 8 {
+		return s
+	}
+	return 8
+}

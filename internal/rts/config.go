@@ -43,6 +43,19 @@ type Config struct {
 	// ablation that measures what concurrent collection buys.
 	MaxConcurrentZones int
 
+	// ZoneStripes sets how many lock stripes the zone scheduler spreads its
+	// admission bookkeeping over (rounded up to a power of two, clamped to
+	// gc.MaxZoneStripes). 0 means gc.DefaultZoneStripes. 1 reproduces the
+	// fully serialized admission of a single scheduler mutex — the ablation
+	// that measures what striped admission buys at high P.
+	ZoneStripes int
+
+	// PoolShards sets how many free-list shards the global chunk pool
+	// spreads over (clamped to mem.MaxChunkPoolShards). 0 means one shard
+	// per worker. Like the pool limit this is process-global state: New
+	// applies it and Close restores the previous value.
+	PoolShards int
+
 	// STWFloorBytes and STWRatio drive the stop-the-world trigger: collect
 	// when global occupancy exceeds max(floor, ratio * live-after-last-GC).
 	STWFloorBytes int64

@@ -89,12 +89,18 @@ func (r *Runtime) triggerSTW(t *Task) {
 	for _, ws := range r.states {
 		zone = append(zone, ws.heap)
 	}
+	// Gather roots from the per-worker task sets. Safe without any lock on
+	// the sets themselves: every other worker is parked in parkForGC (the
+	// rendezvous above counted them), and a parked worker's last writes to
+	// its ws.tasks happen-before this read via gcMu, which the collector
+	// holds and every parker acquired on its way in. The caller's own task
+	// set is touched only by this goroutine.
 	var roots []*mem.ObjPtr
-	r.mu.Lock()
-	for task := range r.tasks {
-		roots = append(roots, task.roots...)
+	for _, ws := range r.states {
+		for task := range ws.tasks {
+			roots = append(roots, task.roots...)
+		}
 	}
-	r.mu.Unlock()
 	stats := gc.CollectWith(t.chunkCache(), zone, roots)
 	r.stwLastLive.Store(mem.LiveBytes() - r.baselineBytes)
 	t.gcStats.Add(stats)

@@ -31,15 +31,20 @@ type Runtime struct {
 	// are a whole-world rendezvous instead (gcdrive.go).
 	zones *gc.ZoneScheduler
 
-	mu       sync.Mutex
-	tasks    map[*Task]struct{}
-	totals   core.Counters
-	gcTotals gc.Stats
+	// totals are the merged per-task counters, striped by worker so a task
+	// finishing on one worker never contends with a task finishing on
+	// another. Before striping every task completion — the hot path of a
+	// fine-grained fork tree — serialized on one runtime-wide mutex, and
+	// the same mutex guarded a global task registry whose only reader was
+	// the STW rendezvous (which now walks the per-worker task sets it
+	// already had).
+	totals [totalsShardCount]totalsShard
 
-	gcNanos       atomic.Int64
-	baselineBytes int64
-	baselineAlloc mem.AllocStats
-	prevPoolLimit int64 // pool limit before New overrode it; Close restores
+	gcNanos        atomic.Int64
+	baselineBytes  int64
+	baselineAlloc  mem.AllocStats
+	prevPoolLimit  int64 // pool limit before New overrode it; Close restores
+	prevPoolShards int   // pool shard count before New overrode it
 
 	// Session accounting (session.go): every unit of work — including a
 	// plain Run — executes as a root-level session.
@@ -55,6 +60,29 @@ type Runtime struct {
 	gcInProgress bool
 	gcStopped    int
 	stwLastLive  atomic.Int64
+}
+
+// totalsShardCount stripes the merged task counters; a power of two so the
+// worker-ID mask is cheap. Sixteen covers the worker counts the benchmarks
+// sweep; beyond that finishes just share stripes.
+const totalsShardCount = 16
+
+// totalsShard is one lock's worth of merged task counters, padded so
+// neighbouring shards' mutexes do not share a cache line.
+type totalsShard struct {
+	mu  sync.Mutex
+	ops core.Counters
+	gc  gc.Stats
+	_   [64]byte
+}
+
+// totalsShardFor picks the stripe tasks of worker w merge into (shard 0
+// for Seq-mode tasks, which have no worker).
+func (r *Runtime) totalsShardFor(w *sched.Worker) *totalsShard {
+	if w == nil {
+		return &r.totals[0]
+	}
+	return &r.totals[w.ID&(totalsShardCount-1)]
 }
 
 // workerState is the per-worker runtime state used by the STW and
@@ -93,7 +121,7 @@ func New(cfg Config) *Runtime {
 	if cfg.STWFloorBytes == 0 {
 		cfg.STWFloorBytes = 8 << 20
 	}
-	r := &Runtime{cfg: cfg, tasks: make(map[*Task]struct{})}
+	r := &Runtime{cfg: cfg}
 	r.gcCond = sync.NewCond(&r.gcMu)
 	r.baselineBytes = mem.LiveBytes()
 	mem.ResetHighWater()
@@ -101,8 +129,9 @@ func New(cfg Config) *Runtime {
 	// Recycling allocator: configure the process-global pool (safe — only
 	// one Runtime is ever active) and remember the counter baseline so
 	// Stats reports this runtime's allocator traffic, not the process's.
-	// The limit applies for this runtime's lifetime: Close restores the
-	// previous one, so an ablation runtime cannot leak pooling-off state.
+	// The limit and shard count apply for this runtime's lifetime: Close
+	// restores the previous ones, so an ablation runtime cannot leak
+	// pooling-off state.
 	r.prevPoolLimit = mem.ChunkPoolLimit()
 	if cfg.DisableChunkPool {
 		mem.SetChunkPoolLimit(0)
@@ -111,6 +140,11 @@ func New(cfg Config) *Runtime {
 	} else {
 		mem.SetChunkPoolLimit(mem.DefaultPoolLimitBytes)
 	}
+	poolShards := cfg.PoolShards
+	if poolShards <= 0 {
+		poolShards = cfg.Procs // one free-list shard per worker
+	}
+	r.prevPoolShards = mem.SetChunkPoolShards(poolShards)
 	r.baselineAlloc = mem.AllocSnapshot()
 
 	if cfg.Mode != STW {
@@ -121,7 +155,11 @@ func New(cfg Config) *Runtime {
 				maxZones = 1
 			}
 		}
-		r.zones = gc.NewZoneScheduler(maxZones)
+		stripes := cfg.ZoneStripes
+		if stripes <= 0 {
+			stripes = gc.DefaultZoneStripes
+		}
+		r.zones = gc.NewZoneSchedulerWithStripes(maxZones, stripes)
 	}
 
 	switch cfg.Mode {
@@ -202,9 +240,6 @@ func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
 	case STW, Manticore:
 		t.ws = w.Local.(*workerState)
 	}
-	r.mu.Lock()
-	r.tasks[t] = struct{}{}
-	r.mu.Unlock()
 	if t.ws != nil {
 		t.ws.tasks[t] = struct{}{}
 	}
@@ -224,9 +259,6 @@ func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap, s *Session
 	case STW, Manticore:
 		t.ws = w.Local.(*workerState)
 	}
-	r.mu.Lock()
-	r.tasks[t] = struct{}{}
-	r.mu.Unlock()
 	if t.ws != nil {
 		t.ws.tasks[t] = struct{}{}
 	}
@@ -262,14 +294,17 @@ type Totals struct {
 
 // Stats returns aggregate statistics. Call after Run completes.
 func (r *Runtime) Stats() Totals {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	t := Totals{
-		Ops:     r.totals,
-		GC:      r.gcTotals,
 		GCNanos: r.gcNanos.Load(),
 		PeakMem: mem.HighWaterBytes() - r.baselineBytes,
 		Procs:   r.Procs(),
+	}
+	for i := range r.totals {
+		sh := &r.totals[i]
+		sh.mu.Lock()
+		t.Ops.Add(&sh.ops)
+		t.GC.Add(sh.gc)
+		sh.mu.Unlock()
 	}
 	if r.pool != nil {
 		t.Steals = r.pool.TotalSteals()
@@ -344,5 +379,6 @@ func (r *Runtime) Close() {
 		}
 	}
 	mem.SetChunkPoolLimit(r.prevPoolLimit)
+	mem.SetChunkPoolShards(r.prevPoolShards)
 	activeRuntime.Store(false)
 }

@@ -78,7 +78,9 @@ func (t *Task) PopRoots(mark int) {
 }
 
 // finish merges the task's statistics into the runtime, hands its created
-// heaps to the session's reclamation registry, and deregisters it.
+// heaps to the session's reclamation registry, and deregisters it. The
+// counter merge goes to the runtime's totals stripe for this task's
+// worker, so completions on different workers never contend.
 func (t *Task) finish() {
 	r := t.rt
 	if t.ws != nil {
@@ -88,11 +90,11 @@ func (t *Task) finish() {
 		t.ses.addHeaps(t.madeHeaps)
 		t.madeHeaps = nil
 	}
-	r.mu.Lock()
-	r.totals.Add(&t.Ops)
-	r.gcTotals.Add(t.gcStats)
-	delete(r.tasks, t)
-	r.mu.Unlock()
+	sh := r.totalsShardFor(t.w)
+	sh.mu.Lock()
+	sh.ops.Add(&t.Ops)
+	sh.gc.Add(t.gcStats)
+	sh.mu.Unlock()
 	r.gcNanos.Add(t.gcNanos)
 }
 
