@@ -10,6 +10,7 @@
 //	hhbench -table fig8               # operation cost matrix
 //	hhbench -table zones              # zone-collection concurrency (parmem)
 //	hhbench -table serve              # serving-layer throughput/latency (all systems)
+//	hhbench -table net                # open-loop TCP serving via hhserved's front end
 //	hhbench -table alloc              # chunk-pool/cache recycling, pool on vs off
 //	hhbench -table promote            # write-barrier mix + promotion cost, fast paths on vs off
 //	hhbench -table scale -procs 8     # serve throughput and lock tell-tales vs P (parmem)
@@ -57,7 +58,7 @@ func resolveCommit() string {
 }
 
 func main() {
-	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|alloc|promote|scale|all")
+	table := flag.String("table", "all", "fig8|fig9|fig10|fig11|fig12|fig13|zones|serve|net|alloc|promote|scale|all")
 	procs := flag.Int("procs", runtime.NumCPU(), "processor count for the T_P columns")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	names := flag.String("bench", "", "comma-separated benchmark subset")
@@ -107,6 +108,8 @@ func main() {
 			run(tb, func() error { return report.ZoneTable(w, opts) })
 		case "serve":
 			run(tb, func() error { return report.ServeTable(w, opts) })
+		case "net":
+			run(tb, func() error { return report.NetTable(w, opts) })
 		case "alloc":
 			run(tb, func() error { return report.AllocTable(w, opts) })
 		case "promote":
@@ -122,6 +125,7 @@ func main() {
 			run("fig13", func() error { return report.Fig13(w, opts) })
 			run("zones", func() error { return report.ZoneTable(w, opts) })
 			run("serve", func() error { return report.ServeTable(w, opts) })
+			run("net", func() error { return report.NetTable(w, opts) })
 			run("alloc", func() error { return report.AllocTable(w, opts) })
 			run("promote", func() error { return report.PromoteTable(w, opts) })
 			run("scale", func() error { return report.ScaleTable(w, opts) })

@@ -1,0 +1,157 @@
+// Command hhserved exposes the hh serving layer over TCP: each RUN
+// request a client sends becomes one hh/serve session — a private
+// subtree of the heap hierarchy that is reclaimed wholesale the moment
+// the request completes — so the server's memory footprint tracks its
+// in-flight work, not its history.
+//
+//	hhserved -addr :7711 -mode parmem -procs 8
+//	hhserved -tenants 'gold:prio=0,share=0.8;free:prio=1,share=0.25'
+//	hhserved -metrics-addr :7712          # Prometheus /metrics + /healthz
+//
+// The wire protocol is a RESP subset (see hh/serve/netserve): PING,
+// HELLO <tenant>, RUN <scenario> <seed> <size>, STATS, QUIT. Overload is
+// explicit: a RUN past capacity gets -SHED with a backoff hint instead
+// of unbounded queueing.
+//
+// SIGTERM and SIGINT drain gracefully: new work is shed, accepted
+// requests complete and their replies flush, sessions are reclaimed, and
+// the process exits 0 only if chunk occupancy returned to its
+// post-startup baseline (the wholesale-reclamation property, checked on
+// hierarchical modes).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/hh/serve/netserve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7711", "TCP listen address for the request protocol")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	modeName := flag.String("mode", "parmem", "runtime mode: parmem|stw|seq|manticore")
+	procs := flag.Int("procs", runtime.NumCPU(), "runtime workers")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent request sessions (0 = procs)")
+	queueDepth := flag.Int("queue-depth", -1, "backpressure queue bound (-1 = 4 x max-inflight)")
+	budget := flag.Int64("budget", 0, "default per-request allocation budget in words (0 = unlimited)")
+	gcMin := flag.Int64("gc-min", 2048, "collection trigger: minimum heap words")
+	gcRatio := flag.Float64("gc-ratio", 1.25, "collection trigger: growth ratio")
+	tenantSpec := flag.String("tenants", "", "tenant table, e.g. 'gold:prio=0,share=0.8;free:prio=1,share=0.25,budget=1048576'")
+	shedFrac := flag.Float64("shed-queue-frac", 0, "queue fraction past which best-effort tenants shed (0 = default 0.75)")
+	pipeline := flag.Int("pipeline", 0, "per-connection pending-reply bound (0 = default 32)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before force-close")
+	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	flag.Parse()
+
+	mode, err := hh.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	var tenants []netserve.TenantConfig
+	if *tenantSpec != "" {
+		if tenants, err = netserve.ParseTenants(*tenantSpec); err != nil {
+			fatal(err)
+		}
+	}
+
+	if runtime.GOMAXPROCS(0) < *procs {
+		runtime.GOMAXPROCS(*procs)
+	}
+	r := hh.New(hh.WithMode(mode), hh.WithProcs(*procs), hh.WithGCPolicy(*gcMin, *gcRatio))
+	baseline := hh.ChunksInUse()
+	hierarchical := mode == hh.ParMem || mode == hh.Seq
+
+	srvOpts := []serve.Option{serve.WithSessionBudget(*budget)}
+	if *maxInFlight > 0 {
+		srvOpts = append(srvOpts, serve.WithMaxInFlight(*maxInFlight))
+	}
+	if *queueDepth >= 0 {
+		srvOpts = append(srvOpts, serve.WithQueueDepth(*queueDepth))
+	}
+	srv := serve.New(r, srvOpts...)
+	mif, qd := srv.Caps()
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := netserve.Config{
+		Resolve:         netserve.LoadResolver(),
+		Tenants:         netserve.NewTenantTable(mif+qd, tenants),
+		ShedQueueFrac:   *shedFrac,
+		PerConnPipeline: *pipeline,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	f := netserve.Serve(lis, srv, cfg)
+	fmt.Printf("hhserved: mode=%s procs=%d inflight=%d queue=%d listening on %s\n",
+		mode, *procs, mif, qd, f.Addr())
+
+	var msrv interface{ Close() error }
+	if *metricsAddr != "" {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// Stays up through the drain so /healthz flips to 503 "draining"
+		// while accepted work finishes; closed just before exit.
+		msrv = f.ServeMetrics(mlis)
+		fmt.Printf("hhserved: metrics on http://%s/metrics\n", mlis.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Printf("hhserved: %s, draining (budget %s)\n", s, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	start := time.Now()
+	drainErr := f.Drain(ctx)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	st := srv.Stats()
+	fmt.Printf("hhserved: drained in %s: %d completed, %d failed, %d rejected; p50 %s p99 %s p999 %s\n",
+		elapsed, st.Completed, st.Failed, st.Rejected,
+		st.LatencyP50.Round(time.Microsecond), st.LatencyP99.Round(time.Microsecond),
+		st.LatencyP999.Round(time.Microsecond))
+
+	code := 0
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "hhserved: drain incomplete: %v\n", drainErr)
+		code = 1
+	}
+	// The wholesale-reclamation check: with every session drained, the
+	// hierarchy must be back at its post-startup chunk occupancy.
+	if got := hh.ChunksInUse(); hierarchical && got != baseline {
+		fmt.Fprintf(os.Stderr, "hhserved: LEAK: %d chunks in use after drain, want baseline %d\n",
+			got, baseline)
+		code = 1
+	} else {
+		fmt.Printf("hhserved: chunk occupancy back at baseline (%d)\n", baseline)
+	}
+	if msrv != nil {
+		msrv.Close()
+	}
+	r.Close()
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hhserved:", err)
+	os.Exit(2)
+}

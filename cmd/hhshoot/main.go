@@ -1,0 +1,143 @@
+// Command hhshoot is the open-loop load generator for hhserved. Unlike
+// hhload's closed loop (which waits for each reply before sending the
+// next request, letting a slow server quietly throttle its own load),
+// hhshoot fixes every request's send time in advance from an arrival
+// shape and charges latency from that INTENDED time — the
+// coordinated-omission-safe measurement: server queueing delay shows up
+// in the percentiles instead of silently thinning the arrival stream.
+//
+//	hhshoot -addr 127.0.0.1:7711 -shape steady:2000 -requests 10000
+//	hhshoot -shape burst:500:8000:1s:200ms      # force shedding
+//	hhshoot -shape diurnal:200:4000:10s
+//	hhshoot -retry-shed -requests 5000          # checksum-parity runs
+//
+// Shed requests are reported (count + rate), not retried, unless
+// -retry-shed is set — parity runs need the full request set served, so
+// there each shed request backs off as the server hinted and retries
+// until accepted, with the wait still charged from its intended time.
+//
+// Exit status: 0 on success, 1 if any request errored (or, with
+// -max-shed-rate, if too many were shed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/hh/serve/netserve"
+	"repro/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7711", "hhserved address")
+	shapeSpec := flag.String("shape", "steady:2000",
+		"arrival shape: steady:<rate> | burst:<base>:<peak>:<period>:<burstlen> | diurnal:<min>:<max>:<period>")
+	requests := flag.Int("requests", 10000, "total requests")
+	conns := flag.Int("conns", 16, "client connections (streams)")
+	scenario := flag.String("scenario", "kv", "scenario name (kv|bfs|hist|fan)")
+	size := flag.Int("size", 600, "work per request (elements)")
+	tenant := flag.String("tenant", "", "tenant name sent via HELLO (empty = default tenant)")
+	retryShed := flag.Bool("retry-shed", false,
+		"retry shed requests after the server's backoff hint until accepted (for checksum parity)")
+	maxShedRate := flag.Float64("max-shed-rate", -1,
+		"fail if the shed fraction exceeds this (-1 = never fail on sheds)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
+	flag.Parse()
+
+	shape, err := load.ParseShape(*shapeSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One connection per stream, dialed up front so dial latency is not
+	// charged to the first requests.
+	clients := make([]*netserve.Client, *conns)
+	for i := range clients {
+		c, err := netserve.Dial(*addr)
+		if err != nil {
+			fatal(fmt.Errorf("dial %s: %w", *addr, err))
+		}
+		defer c.Close()
+		if *tenant != "" {
+			if rep, err := c.Do("HELLO", *tenant); err != nil || rep.IsError() {
+				fatal(fmt.Errorf("HELLO %s: %v %s", *tenant, err, rep.Str))
+			}
+		}
+		clients[i] = c
+	}
+
+	res := load.OpenLoop(*requests, *conns, shape, func(stream int, i uint64) load.OpenOutcome {
+		c := clients[stream]
+		for {
+			sum, shed, backoff, err := c.Run(*scenario, i+1, *size)
+			if err != nil {
+				return load.OpenOutcome{Err: err}
+			}
+			if !shed {
+				return load.OpenOutcome{OK: true, Checksum: sum}
+			}
+			if !*retryShed {
+				return load.OpenOutcome{Shed: true}
+			}
+			if backoff <= 0 {
+				backoff = time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"shape":      shape.String(),
+			"requests":   res.Sent,
+			"ok":         res.OK,
+			"shed":       res.Shed,
+			"errors":     res.Errors,
+			"shed_rate":  res.ShedRate(),
+			"checksum":   fmt.Sprintf("%016x", res.Checksum),
+			"elapsed_s":  res.Elapsed.Seconds(),
+			"rps":        res.Throughput(),
+			"p50_ms":     ms(res.Hist.Quantile(0.50)),
+			"p99_ms":     ms(res.Hist.Quantile(0.99)),
+			"p999_ms":    ms(res.Hist.Quantile(0.999)),
+			"max_ms":     ms(res.Hist.Max()),
+			"late_sends": res.LateStarts,
+		})
+	} else {
+		fmt.Printf("hhshoot %s: %d req in %s (%.1f req/s achieved), %d ok, %d shed (%.1f%%), %d errors\n",
+			shape, res.Sent, res.Elapsed.Round(time.Millisecond), res.Throughput(),
+			res.OK, res.Shed, 100*res.ShedRate(), res.Errors)
+		fmt.Printf("  intended-time latency: p50 %s  p99 %s  p999 %s  max %s\n",
+			res.Hist.Quantile(0.50).Round(time.Microsecond),
+			res.Hist.Quantile(0.99).Round(time.Microsecond),
+			res.Hist.Quantile(0.999).Round(time.Microsecond),
+			res.Hist.Max().Round(time.Microsecond))
+		fmt.Printf("  stream checksum %016x", res.Checksum)
+		if res.LateStarts > 0 {
+			fmt.Printf("  (%d late sends: generator behind schedule, add -conns)", res.LateStarts)
+		}
+		fmt.Println()
+	}
+
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "hhshoot: %d request errors\n", res.Errors)
+		os.Exit(1)
+	}
+	if *maxShedRate >= 0 && res.ShedRate() > *maxShedRate {
+		fmt.Fprintf(os.Stderr, "hhshoot: shed rate %.3f exceeds -max-shed-rate %.3f\n",
+			res.ShedRate(), *maxShedRate)
+		os.Exit(1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hhshoot:", err)
+	os.Exit(2)
+}

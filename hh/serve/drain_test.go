@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/hh"
+)
+
+// TestDrainConcurrentAndTwice is the SIGTERM-path contract: Drain may be
+// called from several goroutines at once and again afterwards; every call
+// returns only once the server is idle, and none deadlocks or panics.
+func TestDrainConcurrentAndTwice(t *testing.T) {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(4), hh.WithGCPolicy(2048, 1.25))
+	defer r.Close()
+	srv := New(r, WithMaxInFlight(4), WithQueueDepth(32))
+
+	release := make(chan struct{})
+	var tickets []*Ticket
+	for i := 0; i < 12; i++ {
+		tk, err := srv.Submit(func(task *hh.Task) uint64 { <-release; return request(task, uint64(i), 10) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+
+	const drainers = 6
+	var wg sync.WaitGroup
+	returned := make([]bool, drainers)
+	for d := 0; d < drainers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Drain()
+			returned[d] = true
+		}()
+	}
+	// No drainer may return while 12 requests are still blocked on release.
+	time.Sleep(20 * time.Millisecond)
+	for d, done := range returned {
+		if done {
+			t.Fatalf("drainer %d returned with requests still in flight", d)
+		}
+	}
+	close(release)
+	wg.Wait()
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second round: Drain again (idempotent on an idle server), then once
+	// more concurrently with fresh traffic.
+	srv.Drain()
+	srv.Drain()
+	if st := srv.Stats(); st.Completed != 12 {
+		t.Fatalf("completed %d, want 12", st.Completed)
+	}
+}
+
+// TestSaturatedErrorCarriesLoad checks the shedding contract: the
+// rejection is matchable as ErrSaturated and carries the queue/in-flight
+// occupancy observed at rejection time.
+func TestSaturatedErrorCarriesLoad(t *testing.T) {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2))
+	defer r.Close()
+	srv := New(r, WithMaxInFlight(1), WithQueueDepth(2))
+
+	release := make(chan struct{})
+	blocker, err := srv.Submit(func(task *hh.Task) uint64 { <-release; return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(func(task *hh.Task) uint64 { return 2 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = srv.Submit(func(task *hh.Task) uint64 { return 3 })
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("err = %T, want *SaturatedError", err)
+	}
+	if sat.InFlight != 1 || sat.MaxInFlight != 1 || sat.Queued != 2 || sat.QueueDepth != 2 {
+		t.Fatalf("saturated payload %+v, want 1/1 in flight, 2/2 queued", sat)
+	}
+	if inf, q := srv.Load(); inf != 1 || q != 2 {
+		t.Fatalf("Load() = %d,%d, want 1,2", inf, q)
+	}
+	if mif, qd := srv.Caps(); mif != 1 || qd != 2 {
+		t.Fatalf("Caps() = %d,%d, want 1,2", mif, qd)
+	}
+	close(release)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+}
+
+// TestStatsP999 checks the extended quantile is populated and ordered.
+func TestStatsP999(t *testing.T) {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2))
+	defer r.Close()
+	srv := New(r, WithMaxInFlight(4), WithQueueDepth(64))
+	for i := 0; i < 32; i++ {
+		if _, err := srv.Submit(func(task *hh.Task) uint64 { return request(task, uint64(i), 10) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Drain()
+	st := srv.Stats()
+	if st.LatencyP999 < st.LatencyP99 || st.LatencyP999 > st.LatencyMax {
+		t.Fatalf("p999 %v out of order (p99 %v, max %v)", st.LatencyP999, st.LatencyP99, st.LatencyMax)
+	}
+}

@@ -1,0 +1,54 @@
+// Package netserve puts a TCP front end on the hh/serve serving layer:
+// a RESP-style framed protocol in which every RUN command becomes one
+// hh/serve session — its own subtree of the heap hierarchy, reclaimed
+// wholesale the moment its reply is computed — so the paper's
+// "memory-managed request" story crosses a real socket boundary.
+//
+// # Protocol
+//
+// Requests are RESP arrays of bulk strings (or inline lines, for telnet
+// debugging); replies are simple strings, errors, integers, and bulk
+// strings. Commands:
+//
+//	PING                      liveness           -> +PONG
+//	HELLO <tenant>            bind conn tenant   -> +OK tenant=<name>
+//	RUN <scenario> <seed> <size>   one request   -> $16 <hex checksum>
+//	STATS                     metrics text       -> $N <exposition>
+//	QUIT                      close              -> +OK
+//
+// Frames are self-delimiting, so clients pipeline freely; replies come
+// back in request order per connection. Oversized or malformed frames are
+// answered with -ERR proto and the connection is closed before any
+// allocation proportional to the declared size happens.
+//
+// # Admission, shedding, fairness
+//
+// A RUN passes three gates before reaching the serve.Server: the drain
+// flag (draining servers shed everything), the connection tenant's
+// in-flight share, and — for best-effort tenants — the backpressure
+// queue's shed threshold. Anything the serve.Server itself then rejects
+// (ErrSaturated: in-flight cap and queue both full) is also shed. Every
+// shed is an explicit reply:
+//
+//	-SHED reason=<saturated|tenant|pressure|draining> backoff_ms=<hint> ...
+//
+// rather than a dropped or endlessly-queued request, so an open-loop
+// client can account for it honestly (cmd/hhshoot does).
+//
+// # Drain
+//
+// Drain implements the SIGTERM contract in strict order: mark draining
+// (new RUNs shed), close the listener, wait for the serve.Server to
+// quiesce — every accepted session completes and its subtree is reclaimed
+// wholesale — then let each connection's write loop flush its last
+// replies before the sockets close. After Drain, chunk occupancy is back
+// at its pre-traffic baseline (the leak check cmd/hhserved performs
+// before exiting).
+//
+// # Metrics
+//
+// WriteMetrics renders a Prometheus-style text exposition fed entirely by
+// counters the runtime already keeps (ServeStats, rts.Totals,
+// mem.AllocStats, the chunk gauge); ServeMetrics mounts it at /metrics
+// next to a /healthz that flips to 503 while draining.
+package netserve

@@ -1,0 +1,16 @@
+package netserve
+
+import "repro/internal/load"
+
+// LoadResolver adapts the internal/load scenario registry as a
+// Config.Resolve: RUN's scenario argument is the registry name ("kv",
+// "bfs", "hist", "fan"). cmd/hhserved and the tests both wire it in.
+func LoadResolver() func(string) (Runner, bool) {
+	return func(name string) (Runner, bool) {
+		sc, err := load.ByName(name)
+		if err != nil {
+			return nil, false
+		}
+		return Runner(sc.Run), true
+	}
+}

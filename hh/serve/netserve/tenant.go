@@ -1,0 +1,188 @@
+package netserve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Tenants carve the server's capacity into named shares so one client
+// population cannot starve another: each tenant holds a fraction of the
+// admission cap, a shedding priority, and a per-request session budget.
+// A connection names its tenant with HELLO; connections that never do run
+// as the default tenant.
+//
+// Fairness is enforced at admission: a RUN whose tenant is already at its
+// in-flight share is shed immediately (reason=tenant) regardless of how
+// idle the rest of the server is — the share is a guarantee for everyone
+// else, not a hint. Priority is enforced under pressure: once the
+// backpressure queue passes the shed threshold, best-effort tenants
+// (Priority > 0) are shed proactively (reason=pressure) so the remaining
+// queue capacity is kept for Priority-0 tenants.
+
+// TenantConfig declares one tenant.
+type TenantConfig struct {
+	Name string
+	// Priority orders shedding under queue pressure: 0 is served until the
+	// queue is hard-full; higher values are shed once the queue passes the
+	// front end's shed threshold.
+	Priority int
+	// Share is the fraction of the server's total admission capacity
+	// (in-flight cap + queue depth) this tenant may hold outstanding at
+	// once, (0,1]; at least one slot is always granted. A tenant's
+	// outstanding count spans submit to completion, so it covers both its
+	// running sessions and its queue occupancy.
+	Share float64
+	// BudgetWords caps each of the tenant's sessions (0 = the server
+	// default).
+	BudgetWords int64
+}
+
+// Tenant is one live tenant: its configuration plus in-flight and
+// shedding accounting.
+type Tenant struct {
+	TenantConfig
+	maxInFlight int64 // resolved slot count
+
+	inFlight atomic.Int64
+	accepted atomic.Int64
+	shed     [shedReasons]atomic.Int64
+}
+
+// shed reasons, indexing Tenant.shed.
+const (
+	shedSaturated = iota // serve.Server queue hard-full
+	shedTenant           // tenant over its in-flight share
+	shedPressure         // queue past threshold, tenant is best-effort
+	shedDraining         // front end draining (SIGTERM)
+	shedReasons
+)
+
+var shedReasonNames = [shedReasons]string{"saturated", "tenant", "pressure", "draining"}
+
+// InFlight reports the tenant's current in-flight sessions.
+func (t *Tenant) InFlight() int64 { return t.inFlight.Load() }
+
+// Accepted reports the tenant's lifetime accepted RUNs.
+func (t *Tenant) Accepted() int64 { return t.accepted.Load() }
+
+// ShedTotal reports the tenant's lifetime shed RUNs across all reasons.
+func (t *Tenant) ShedTotal() int64 {
+	var n int64
+	for i := range t.shed {
+		n += t.shed[i].Load()
+	}
+	return n
+}
+
+// TenantTable resolves tenant names to live tenants.
+type TenantTable struct {
+	mu  sync.RWMutex
+	m   map[string]*Tenant
+	def *Tenant
+}
+
+// DefaultTenantName is the tenant of connections that never said HELLO.
+const DefaultTenantName = "default"
+
+// NewTenantTable builds a table over the given tenants, sized against the
+// server's total admission capacity (in-flight cap + queue depth). A
+// "default" tenant is added if absent (Priority 1, Share 1.0 —
+// best-effort, uncapped short of the server itself).
+func NewTenantTable(capacity int, cfgs []TenantConfig) *TenantTable {
+	tt := &TenantTable{m: map[string]*Tenant{}}
+	for _, c := range cfgs {
+		tt.m[c.Name] = newTenant(c, capacity)
+	}
+	if _, ok := tt.m[DefaultTenantName]; !ok {
+		tt.m[DefaultTenantName] = newTenant(
+			TenantConfig{Name: DefaultTenantName, Priority: 1, Share: 1.0}, capacity)
+	}
+	tt.def = tt.m[DefaultTenantName]
+	return tt
+}
+
+func newTenant(c TenantConfig, capacity int) *Tenant {
+	if c.Share <= 0 || c.Share > 1 {
+		c.Share = 1.0
+	}
+	slots := int64(c.Share * float64(capacity))
+	if slots < 1 {
+		slots = 1
+	}
+	return &Tenant{TenantConfig: c, maxInFlight: slots}
+}
+
+// Lookup resolves a tenant by name; unknown names map to the default
+// tenant (a connection cannot invent capacity by guessing names).
+func (tt *TenantTable) Lookup(name string) *Tenant {
+	tt.mu.RLock()
+	defer tt.mu.RUnlock()
+	if t, ok := tt.m[name]; ok {
+		return t
+	}
+	return tt.def
+}
+
+// Default returns the default tenant.
+func (tt *TenantTable) Default() *Tenant { return tt.def }
+
+// All returns every tenant, name-sorted (stable metrics output).
+func (tt *TenantTable) All() []*Tenant {
+	tt.mu.RLock()
+	defer tt.mu.RUnlock()
+	out := make([]*Tenant, 0, len(tt.m))
+	for _, t := range tt.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ParseTenants parses the hhserved -tenants flag syntax:
+//
+//	name:prio=P,share=F,budget=W;name2:...
+//
+// e.g. "gold:prio=0,share=0.8;free:prio=1,share=0.25,budget=1048576".
+// Every field is optional (defaults: prio 1, share 1.0, budget 0).
+func ParseTenants(spec string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, fields, _ := strings.Cut(entry, ":")
+		if name == "" {
+			return nil, fmt.Errorf("netserve: tenant entry %q has no name", entry)
+		}
+		c := TenantConfig{Name: name, Priority: 1, Share: 1.0}
+		if fields != "" {
+			for _, f := range strings.Split(fields, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+				if !ok {
+					return nil, fmt.Errorf("netserve: bad tenant field %q in %q", f, entry)
+				}
+				var err error
+				switch k {
+				case "prio":
+					c.Priority, err = strconv.Atoi(v)
+				case "share":
+					c.Share, err = strconv.ParseFloat(v, 64)
+				case "budget":
+					c.BudgetWords, err = strconv.ParseInt(v, 10, 64)
+				default:
+					err = fmt.Errorf("unknown key")
+				}
+				if err != nil {
+					return nil, fmt.Errorf("netserve: bad tenant field %q in %q", f, entry)
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -2,16 +2,42 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/hh"
+	"repro/internal/lat"
 )
 
 // ErrSaturated rejects a Submit that found the server at MaxInFlight with
 // a full backpressure queue. Callers shed the request (or retry after
-// backoff); the server never buffers unboundedly.
+// backoff); the server never buffers unboundedly. The error returned by
+// SubmitRequest is a *SaturatedError carrying the load observed at
+// rejection time; match it with errors.Is(err, ErrSaturated) or unwrap
+// with errors.As to read the depths.
 var ErrSaturated = errors.New("serve: server saturated (in-flight cap and queue both full)")
+
+// SaturatedError is the concrete rejection returned when a submission
+// finds the server saturated. It snapshots the load at the instant of
+// rejection so shedding responses and metrics can report how far over
+// capacity the server was (netserve's SHED replies carry these numbers to
+// the client as a backoff hint).
+type SaturatedError struct {
+	InFlight    int // sessions running at rejection time
+	MaxInFlight int // the admission cap
+	Queued      int // backpressure-queue occupancy at rejection time
+	QueueDepth  int // the queue bound
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("serve: server saturated (%d/%d in flight, %d/%d queued)",
+		e.InFlight, e.MaxInFlight, e.Queued, e.QueueDepth)
+}
+
+// Is reports ErrSaturated as this error's sentinel, so existing
+// errors.Is(err, ErrSaturated) callers keep working.
+func (e *SaturatedError) Is(target error) bool { return target == ErrSaturated }
 
 // Option configures a Server.
 type Option func(*Server)
@@ -79,7 +105,7 @@ type Server struct {
 	queue    []*Ticket
 
 	stats       ServeStats
-	hist        latencyHist
+	hist        lat.Hist
 	firstSubmit time.Time
 	lastDone    time.Time
 }
@@ -139,8 +165,27 @@ func (s *Server) SubmitRequest(req Request) (*Ticket, error) {
 		return tk, nil
 	}
 	s.stats.Rejected++
+	rej := &SaturatedError{
+		InFlight: s.inFlight, MaxInFlight: s.maxInFlight,
+		Queued: len(s.queue), QueueDepth: s.queueDepth,
+	}
 	s.mu.Unlock()
-	return nil, ErrSaturated
+	return nil, rej
+}
+
+// Load snapshots the server's instantaneous occupancy: sessions running
+// and requests waiting in the backpressure queue. Front ends use it for
+// proactive shedding (reject low-priority work while the queue is filling,
+// before ErrSaturated) and for gauge metrics.
+func (s *Server) Load() (inFlight, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inFlight, len(s.queue)
+}
+
+// Caps reports the server's admission cap and queue bound.
+func (s *Server) Caps() (maxInFlight, queueDepth int) {
+	return s.maxInFlight, s.queueDepth
 }
 
 // launch starts the ticket's session and watches it to completion. Called
@@ -168,7 +213,7 @@ func (s *Server) complete(tk *Ticket) {
 	} else {
 		s.stats.Completed++
 	}
-	s.hist.record(now.Sub(tk.submitted))
+	s.hist.Record(now.Sub(tk.submitted))
 	s.stats.WholesaleBytes += tk.ses.WholesaleBytes()
 	s.stats.MergedBytes += tk.ses.MergedBytes()
 	if now.After(s.lastDone) {
@@ -197,6 +242,14 @@ func (s *Server) complete(tk *Ticket) {
 // stress tests run). The server stays usable; new requests may be
 // submitted afterwards (including concurrently, which simply extends the
 // drain).
+//
+// Drain is idempotent and safe to call from any number of goroutines at
+// once: every caller independently waits for the same quiescent point and
+// each returns once the server is idle from its own point of view — a
+// second Drain issued while a first is still waiting simply waits
+// alongside it (the SIGTERM path calls Drain from the signal handler while
+// a shutdown watchdog may be draining too). A Drain of a server that never
+// saw traffic returns immediately.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	for s.inFlight > 0 || len(s.queue) > 0 {
@@ -214,10 +267,11 @@ func (s *Server) Stats() ServeStats {
 		st.Elapsed = s.lastDone.Sub(s.firstSubmit)
 		st.Throughput = float64(st.Completed+st.Failed) / st.Elapsed.Seconds()
 	}
-	st.LatencyMean = s.hist.mean()
-	st.LatencyP50 = s.hist.quantile(0.50)
-	st.LatencyP90 = s.hist.quantile(0.90)
-	st.LatencyP99 = s.hist.quantile(0.99)
-	st.LatencyMax = time.Duration(s.hist.max)
+	st.LatencyMean = s.hist.Mean()
+	st.LatencyP50 = s.hist.Quantile(0.50)
+	st.LatencyP90 = s.hist.Quantile(0.90)
+	st.LatencyP99 = s.hist.Quantile(0.99)
+	st.LatencyP999 = s.hist.Quantile(0.999)
+	st.LatencyMax = s.hist.Max()
 	return st
 }

@@ -1,74 +1,8 @@
 package serve
 
 import (
-	"math/bits"
 	"time"
 )
-
-// latencyHist is a log-scale latency histogram: one bucket per power of
-// two of nanoseconds, with linear interpolation inside a bucket at
-// quantile time. Bounded memory regardless of request count.
-type latencyHist struct {
-	buckets [64]int64
-	count   int64
-	sum     int64
-	max     int64
-}
-
-func (h *latencyHist) record(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	h.buckets[bits.Len64(uint64(ns))]++
-	h.count++
-	h.sum += ns
-	if ns > h.max {
-		h.max = ns
-	}
-}
-
-// quantile returns the approximate q-quantile (0 < q <= 1).
-func (h *latencyHist) quantile(q float64) time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
-	}
-	var seen int64
-	for b, n := range h.buckets {
-		if n == 0 {
-			continue
-		}
-		if seen+n > rank {
-			// Interpolate inside [2^(b-1), 2^b).
-			lo := int64(0)
-			if b > 0 {
-				lo = int64(1) << (b - 1)
-			}
-			hi := int64(1) << b
-			if hi > h.max {
-				hi = h.max
-			}
-			if hi < lo {
-				hi = lo
-			}
-			frac := float64(rank-seen) / float64(n)
-			return time.Duration(lo + int64(frac*float64(hi-lo)))
-		}
-		seen += n
-	}
-	return time.Duration(h.max)
-}
-
-func (h *latencyHist) mean() time.Duration {
-	if h.count == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / h.count)
-}
 
 // ServeStats is a snapshot of a Server's lifetime serving statistics.
 type ServeStats struct {
@@ -90,6 +24,7 @@ type ServeStats struct {
 	LatencyP50  time.Duration
 	LatencyP90  time.Duration
 	LatencyP99  time.Duration
+	LatencyP999 time.Duration
 	LatencyMax  time.Duration
 
 	// WholesaleBytes counts chunk bytes released in bulk when sessions

@@ -1,0 +1,99 @@
+// Package lat provides the runtime's log-scale latency histogram: one
+// bucket per power of two of nanoseconds, with linear interpolation inside
+// a bucket at quantile time. Bounded memory regardless of sample count,
+// cheap enough to sit on a request hot path, and accurate to within the
+// bucket's resolution (a factor of two at worst, far less after
+// interpolation) — the fidelity the serving tables need for p50…p999.
+//
+// The zero Hist is ready to use. Hist is not synchronized; callers either
+// own one per goroutine and Merge, or record under their own lock (as
+// hh/serve does).
+package lat
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Hist is a log-bucketed latency histogram. The zero value is empty.
+type Hist struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Record adds one sample. Negative durations clamp to zero.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other's samples into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Max reports the largest recorded sample.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean reports the arithmetic mean of the recorded samples.
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Quantile returns the approximate q-quantile (0 < q <= 1).
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+n > rank {
+			// Interpolate inside [2^(b-1), 2^b).
+			lo := int64(0)
+			if b > 0 {
+				lo = int64(1) << (b - 1)
+			}
+			hi := int64(1) << b
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := float64(rank-seen) / float64(n)
+			return time.Duration(lo + int64(frac*float64(hi-lo)))
+		}
+		seen += n
+	}
+	return time.Duration(h.max)
+}

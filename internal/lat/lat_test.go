@@ -1,0 +1,62 @@
+package lat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantilesOrderedAndBounded(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 10_000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	p999 := h.Quantile(0.999)
+	if !(p50 <= p99 && p99 <= p999 && p999 <= h.Max()) {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v p999=%v max=%v", p50, p99, p999, h.Max())
+	}
+	// Log buckets are exact to a factor of two; with interpolation the
+	// uniform ramp should land well inside that envelope.
+	if p50 < 2500*time.Microsecond || p50 > 10*time.Millisecond {
+		t.Fatalf("p50 %v implausible for uniform 1µs..10ms ramp", p50)
+	}
+	if h.Max() != 10_000*time.Microsecond {
+		t.Fatalf("max %v, want 10ms", h.Max())
+	}
+	if m := h.Mean(); m < 4*time.Millisecond || m > 6*time.Millisecond {
+		t.Fatalf("mean %v, want ~5ms", m)
+	}
+}
+
+func TestZeroAndNegative(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("zero hist must report zeros")
+	}
+	h.Record(-time.Second) // clamps
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample: max=%v count=%d, want 0/1", h.Max(), h.Count())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count %d, want 200", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Fatalf("max %v, want 1s", a.Max())
+	}
+	if p := a.Quantile(0.25); p > 2*time.Millisecond {
+		t.Fatalf("p25 %v, want ~1ms", p)
+	}
+	if p := a.Quantile(0.9); p < 500*time.Millisecond {
+		t.Fatalf("p90 %v, want ~1s", p)
+	}
+}

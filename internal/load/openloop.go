@@ -1,0 +1,276 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lat"
+)
+
+// Open-loop load generation. The closed loop (Drive) hides queueing
+// delay: each client waits for its previous reply before sending again,
+// so a slow server quietly slows the offered load and latency percentiles
+// look flat — the coordinated-omission trap. The open loop severs that
+// feedback: arrival times are fixed in advance by an arrival Shape, each
+// request's latency is measured from its INTENDED send time (not the
+// moment a connection finally got free to send it), and a server that
+// cannot keep up accumulates visibly late requests instead of silently
+// receiving fewer.
+
+// Shape is a deterministic arrival process: Offsets(n) returns the
+// intended send time of each of n requests as offsets from the start of
+// the run.
+type Shape interface {
+	Offsets(n int) []time.Duration
+	String() string
+}
+
+// SteadyShape issues requests at a constant rate.
+type SteadyShape struct{ Rate float64 } // requests per second
+
+func (s SteadyShape) Offsets(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	per := float64(time.Second) / s.Rate
+	for i := range out {
+		out[i] = time.Duration(float64(i) * per)
+	}
+	return out
+}
+
+func (s SteadyShape) String() string { return fmt.Sprintf("steady:%g", s.Rate) }
+
+// BurstShape alternates a base rate with burst-rate windows: every
+// Period, the first Burst of it runs at PeakRate, the rest at BaseRate —
+// the overload pattern that forces shedding.
+type BurstShape struct {
+	BaseRate, PeakRate float64
+	Period, Burst      time.Duration
+}
+
+func (s BurstShape) rate(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.BaseRate
+	}
+	if t%s.Period < s.Burst {
+		return s.PeakRate
+	}
+	return s.BaseRate
+}
+
+func (s BurstShape) Offsets(n int) []time.Duration { return integrate(n, s.rate) }
+
+func (s BurstShape) String() string {
+	return fmt.Sprintf("burst:%g:%g:%s:%s", s.BaseRate, s.PeakRate, s.Period, s.Burst)
+}
+
+// DiurnalShape sweeps the rate sinusoidally between MinRate and MaxRate
+// over Period — a compressed day/night traffic curve.
+type DiurnalShape struct {
+	MinRate, MaxRate float64
+	Period           time.Duration
+}
+
+func (s DiurnalShape) rate(t time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.MinRate
+	}
+	mid := (s.MinRate + s.MaxRate) / 2
+	amp := (s.MaxRate - s.MinRate) / 2
+	return mid + amp*math.Sin(2*math.Pi*float64(t)/float64(s.Period))
+}
+
+func (s DiurnalShape) Offsets(n int) []time.Duration { return integrate(n, s.rate) }
+
+func (s DiurnalShape) String() string {
+	return fmt.Sprintf("diurnal:%g:%g:%s", s.MinRate, s.MaxRate, s.Period)
+}
+
+// integrate walks a time-varying rate function: each interarrival gap is
+// 1/rate at the current offset. Rates below 1 req/s clamp the gap at 1s
+// so a zero-rate trough cannot stall the schedule forever.
+func integrate(n int, rate func(time.Duration) float64) []time.Duration {
+	out := make([]time.Duration, n)
+	var t time.Duration
+	for i := range out {
+		out[i] = t
+		r := rate(t)
+		if r < 1 {
+			r = 1
+		}
+		t += time.Duration(float64(time.Second) / r)
+	}
+	return out
+}
+
+// ParseShape parses the hhshoot -shape syntax:
+//
+//	steady:<rate>
+//	burst:<base>:<peak>:<period>:<burstlen>
+//	diurnal:<min>:<max>:<period>
+//
+// Rates are req/s; durations use Go syntax ("500ms").
+func ParseShape(spec string) (Shape, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (Shape, error) {
+		return nil, fmt.Errorf("load: bad shape %q (want steady:<rate> | burst:<base>:<peak>:<period>:<burstlen> | diurnal:<min>:<max>:<period>)", spec)
+	}
+	num := func(s string) (float64, bool) {
+		v, err := strconv.ParseFloat(s, 64)
+		return v, err == nil && v > 0
+	}
+	dur := func(s string) (time.Duration, bool) {
+		d, err := time.ParseDuration(s)
+		return d, err == nil && d > 0
+	}
+	switch parts[0] {
+	case "steady":
+		if len(parts) != 2 {
+			return bad()
+		}
+		r, ok := num(parts[1])
+		if !ok {
+			return bad()
+		}
+		return SteadyShape{Rate: r}, nil
+	case "burst":
+		if len(parts) != 5 {
+			return bad()
+		}
+		base, ok1 := num(parts[1])
+		peak, ok2 := num(parts[2])
+		period, ok3 := dur(parts[3])
+		burst, ok4 := dur(parts[4])
+		if !ok1 || !ok2 || !ok3 || !ok4 || burst > period {
+			return bad()
+		}
+		return BurstShape{BaseRate: base, PeakRate: peak, Period: period, Burst: burst}, nil
+	case "diurnal":
+		if len(parts) != 4 {
+			return bad()
+		}
+		min, ok1 := num(parts[1])
+		max, ok2 := num(parts[2])
+		period, ok3 := dur(parts[3])
+		if !ok1 || !ok2 || !ok3 || max < min {
+			return bad()
+		}
+		return DiurnalShape{MinRate: min, MaxRate: max, Period: period}, nil
+	}
+	return bad()
+}
+
+// OpenOutcome is one request's result as reported by the transport layer.
+type OpenOutcome struct {
+	Checksum uint64 // valid when OK
+	OK       bool   // completed with a checksum
+	Shed     bool   // explicitly rejected by the server (counted, not latency-recorded)
+	Err      error  // transport or server error
+}
+
+// OpenDo issues request i (seed = i+1 by the cross-mode convention) on
+// the given stream and blocks until its outcome. Implementations retry
+// internally if they want shed requests eventually served
+// (checksum-parity runs do).
+type OpenDo func(stream int, i uint64) OpenOutcome
+
+// OpenResult summarizes one open-loop run.
+type OpenResult struct {
+	Sent     int64 // requests issued (includes those later shed)
+	OK       int64
+	Shed     int64 // requests whose final outcome was a shed rejection
+	Errors   int64
+	Checksum uint64 // order-independent sum over OK requests
+	Elapsed  time.Duration
+
+	// Hist holds intended-time latency: completion minus INTENDED send
+	// time, so queueing delay both client- and server-side is charged to
+	// the request (coordinated-omission safe). Only OK requests record.
+	Hist lat.Hist
+
+	// LateStarts counts requests whose actual send lagged their intended
+	// time by over a millisecond — the generator falling behind (too few
+	// connections for the offered rate). The latency numbers remain
+	// honest (they charge from intended time); this is the tell that the
+	// offered load, not the server, was the bottleneck.
+	LateStarts int64
+}
+
+// Throughput returns completed requests per second of the run.
+func (r OpenResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of issued requests that were shed.
+func (r OpenResult) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+// OpenLoop runs n requests against do on conns concurrent streams with
+// arrival times fixed by shape. Request i is dispatched no earlier than
+// its intended offset; if every stream is busy at that moment it goes out
+// late and the delay is charged to its latency. Streams correspond to
+// client connections: do is called concurrently from at most conns
+// goroutines, each pinned to one stream index (stream = i % conns), so a
+// transport can pre-open one connection per stream.
+func OpenLoop(n, conns int, shape Shape, do OpenDo) OpenResult {
+	if conns < 1 {
+		conns = 1
+	}
+	offsets := shape.Offsets(n)
+	var res OpenResult
+	var mu sync.Mutex // guards res.Hist and checksum fold
+	var sent, oks, sheds, errs, late atomic.Int64
+	var sum atomic.Uint64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < conns; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for i := stream; i < n; i += conns {
+				intended := start.Add(offsets[i])
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				} else if -d > time.Millisecond {
+					late.Add(1)
+				}
+				sent.Add(1)
+				out := do(stream, uint64(i))
+				switch {
+				case out.Err != nil:
+					errs.Add(1)
+				case out.Shed:
+					sheds.Add(1)
+				case out.OK:
+					oks.Add(1)
+					sum.Add(out.Checksum)
+					d := time.Since(intended)
+					mu.Lock()
+					res.Hist.Record(d)
+					mu.Unlock()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Sent = sent.Load()
+	res.OK = oks.Load()
+	res.Shed = sheds.Load()
+	res.Errors = errs.Load()
+	res.Checksum = sum.Load()
+	res.LateStarts = late.Load()
+	return res
+}

@@ -1,0 +1,135 @@
+package load
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestShapeOffsetsMonotonic(t *testing.T) {
+	shapes := []Shape{
+		SteadyShape{Rate: 1000},
+		BurstShape{BaseRate: 100, PeakRate: 5000, Period: 100 * time.Millisecond, Burst: 20 * time.Millisecond},
+		DiurnalShape{MinRate: 100, MaxRate: 2000, Period: 200 * time.Millisecond},
+	}
+	for _, s := range shapes {
+		offs := s.Offsets(500)
+		if len(offs) != 500 || offs[0] != 0 {
+			t.Fatalf("%s: len=%d first=%s", s, len(offs), offs[0])
+		}
+		for i := 1; i < len(offs); i++ {
+			if offs[i] <= offs[i-1] {
+				t.Fatalf("%s: offsets not strictly increasing at %d: %s <= %s", s, i, offs[i], offs[i-1])
+			}
+		}
+	}
+}
+
+func TestBurstShapeDensity(t *testing.T) {
+	// With a 10x rate in the burst window, the burst window must hold
+	// many more arrivals per unit time than the baseline.
+	s := BurstShape{BaseRate: 100, PeakRate: 1000, Period: 100 * time.Millisecond, Burst: 50 * time.Millisecond}
+	offs := s.Offsets(200)
+	var inBurst, inBase int
+	for _, o := range offs {
+		if o%s.Period < s.Burst {
+			inBurst++
+		} else {
+			inBase++
+		}
+	}
+	if inBurst <= 2*inBase {
+		t.Fatalf("burst window not denser: burst=%d base=%d", inBurst, inBase)
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	good := map[string]string{
+		"steady:2000":             "steady:2000",
+		"burst:500:4000:1s:200ms": "burst:500:4000:1s:200ms",
+		"diurnal:100:3000:2s":     "diurnal:100:3000:2s",
+		"burst:1:2:100ms:100ms":   "burst:1:2:100ms:100ms", // burst == period allowed
+		"diurnal:1000:1000:1s":    "diurnal:1000:1000:1s",  // flat diurnal allowed
+	}
+	for spec, want := range good {
+		s, err := ParseShape(spec)
+		if err != nil {
+			t.Fatalf("ParseShape(%q): %v", spec, err)
+		}
+		if s.String() != want {
+			t.Fatalf("ParseShape(%q).String() = %q, want %q", spec, s.String(), want)
+		}
+	}
+	bad := []string{
+		"", "steady", "steady:0", "steady:-5", "steady:abc",
+		"burst:100:200:1s", "burst:100:200:1s:2s", // burst > period
+		"diurnal:200:100:1s", // max < min
+		"poisson:100",
+	}
+	for _, spec := range bad {
+		if _, err := ParseShape(spec); err == nil {
+			t.Fatalf("ParseShape(%q) accepted", spec)
+		}
+	}
+}
+
+func TestOpenLoopCounts(t *testing.T) {
+	boom := errors.New("boom")
+	res := OpenLoop(100, 4, SteadyShape{Rate: 1e6}, func(stream int, i uint64) OpenOutcome {
+		switch {
+		case i%10 == 3:
+			return OpenOutcome{Shed: true}
+		case i%25 == 7:
+			return OpenOutcome{Err: boom}
+		default:
+			return OpenOutcome{OK: true, Checksum: i + 1}
+		}
+	})
+	if res.Sent != 100 {
+		t.Fatalf("Sent = %d", res.Sent)
+	}
+	if res.OK+res.Shed+res.Errors != 100 {
+		t.Fatalf("outcomes don't sum: ok=%d shed=%d err=%d", res.OK, res.Shed, res.Errors)
+	}
+	if res.Shed != 10 || res.Errors != 4 {
+		t.Fatalf("shed=%d (want 10) err=%d (want 4)", res.Shed, res.Errors)
+	}
+	// Order-independent checksum: sum of i+1 over OK requests.
+	var want uint64
+	for i := uint64(0); i < 100; i++ {
+		if i%10 != 3 && i%25 != 7 {
+			want += i + 1
+		}
+	}
+	if res.Checksum != want {
+		t.Fatalf("checksum = %d, want %d", res.Checksum, want)
+	}
+	if res.Hist.Count() != res.OK {
+		t.Fatalf("hist count %d != ok %d", res.Hist.Count(), res.OK)
+	}
+	if res.ShedRate() != 0.1 {
+		t.Fatalf("shed rate = %g", res.ShedRate())
+	}
+}
+
+// TestOpenLoopChargesIntendedTime is the coordinated-omission check: one
+// stream, instant handler, but a schedule that front-loads all arrivals
+// at t=0 means request i waits for i predecessors — its latency must
+// include that queueing delay even though the handler itself is instant.
+func TestOpenLoopChargesIntendedTime(t *testing.T) {
+	const n = 10
+	const step = 5 * time.Millisecond
+	res := OpenLoop(n, 1, SteadyShape{Rate: 1e9}, func(stream int, i uint64) OpenOutcome {
+		time.Sleep(step)
+		return OpenOutcome{OK: true, Checksum: 1}
+	})
+	// The last request's intended time is ~0 but it completes after
+	// n*step of predecessors; max latency must reflect that.
+	if max := res.Hist.Max(); max < time.Duration(n-1)*step {
+		t.Fatalf("max latency %s too small; queueing delay not charged (want >= %s)",
+			max, time.Duration(n-1)*step)
+	}
+	if res.LateStarts < n/2 {
+		t.Fatalf("late starts = %d, want most of %d", res.LateStarts, n)
+	}
+}

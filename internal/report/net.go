@@ -1,0 +1,199 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/hh/serve/netserve"
+	"repro/internal/load"
+	"repro/internal/mem"
+)
+
+// netLeg is one arrival shape driven against one runtime mode.
+type netLeg struct {
+	name     string
+	shape    load.Shape
+	requests int
+	// conns is the stream count as a multiple of the server's admission
+	// capacity: <=1x cannot saturate (each stream holds one outstanding
+	// request), >1x guarantees explicit shedding once streams pile up.
+	connsPerCap float64
+	// retryShed re-submits shed requests after the hinted backoff, so the
+	// leg completes the full request set — required on the parity leg,
+	// where all modes must compute the identical checksum.
+	retryShed bool
+}
+
+// NetTable benchmarks the network front end: hhserved's serving path
+// (RESP framing -> admission -> one hh/serve session per request ->
+// wholesale reclamation) driven end-to-end over loopback TCP by the
+// open-loop generator, per runtime mode and arrival shape. Latency is
+// charged from each request's INTENDED send time (coordinated-omission
+// safe), so server queueing shows up in p99/p999 instead of thinning the
+// arrival stream. The steady leg retries sheds and must produce the same
+// checksum in every mode; the burst leg oversubscribes the admission
+// capacity and must shed explicitly; the drain column times the SIGTERM
+// path (flush replies, reclaim sessions) after each mode's legs.
+func NetTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	sessions := o.Procs
+	if sessions < 2 {
+		sessions = 2
+	}
+	queue := 2 * sessions
+	capacity := sessions + queue
+	scale := 1
+	if o.Paper {
+		scale = 4
+	}
+	legs := []netLeg{
+		{"steady", load.SteadyShape{Rate: 2000}, 1200 * scale, 1.0, true},
+		{"burst", load.BurstShape{BaseRate: 500, PeakRate: 50000,
+			Period: 300 * time.Millisecond, Burst: 120 * time.Millisecond}, 1000 * scale, 4.0, false},
+		{"diurnal", load.DiurnalShape{MinRate: 500, MaxRate: 4000,
+			Period: 600 * time.Millisecond}, 800 * scale, 1.0, false},
+	}
+	if runtime.GOMAXPROCS(0) < o.Procs {
+		runtime.GOMAXPROCS(o.Procs)
+	}
+	mem.DrainChunkPool()
+
+	header := []string{"system", "shape", "req", "ok", "shed%", "req/s",
+		"p50(ms)", "p99(ms)", "p999(ms)", "drain(ms)"}
+	var rows [][]string
+	var failures []string
+	var refSum uint64
+	var refMode string
+	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
+		r := hh.New(hh.WithMode(mode), hh.WithProcs(o.Procs), hh.WithGCPolicy(2048, 1.25))
+		baseline := hh.ChunksInUse()
+		srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(queue))
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			r.Close()
+			return err
+		}
+		f := netserve.Serve(lis, srv, netserve.Config{Resolve: netserve.LoadResolver()})
+		addr := f.Addr().String()
+
+		var modeRows [][]string
+		for _, leg := range legs {
+			res, err := runNetLeg(addr, leg, capacity)
+			if err != nil {
+				f.Close()
+				r.Close()
+				return fmt.Errorf("net %s/%s: %w", mode, leg.name, err)
+			}
+			if res.Errors > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"VALIDATION FAILURE: %d request error(s) on %s/%s", res.Errors, mode, leg.name))
+			}
+			switch leg.name {
+			case "steady":
+				// The parity leg: retried sheds mean the full request set was
+				// served, so every mode must compute the identical stream.
+				if refMode == "" {
+					refSum, refMode = res.Checksum, mode.String()
+				} else if res.Checksum != refSum {
+					failures = append(failures, fmt.Sprintf(
+						"VALIDATION FAILURE: net stream on %s: checksum %x, want %x (%s)",
+						mode, res.Checksum, refSum, refMode))
+				}
+			case "burst":
+				if res.Shed == 0 {
+					failures = append(failures, fmt.Sprintf(
+						"VALIDATION FAILURE: burst leg on %s shed nothing (overload was not explicit)", mode))
+				}
+			}
+			modeRows = append(modeRows, []string{
+				mode.String(), leg.shape.String(),
+				fmt.Sprintf("%d", res.Sent),
+				fmt.Sprintf("%d", res.OK),
+				fmtPct(res.ShedRate()),
+				fmt.Sprintf("%.0f", res.Throughput()),
+				fmtMs(res.Hist.Quantile(0.50)),
+				fmtMs(res.Hist.Quantile(0.99)),
+				fmtMs(res.Hist.Quantile(0.999)),
+				"-",
+			})
+		}
+
+		drainStart := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		drainErr := f.Drain(ctx)
+		cancel()
+		drain := time.Since(drainStart)
+		if drainErr != nil {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: drain on %s: %v", mode, drainErr))
+		}
+		if got := hh.ChunksInUse(); (mode == hh.ParMem || mode == hh.Seq) && got != baseline {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: %s: %d chunks in use after drain, want baseline %d",
+				mode, got, baseline))
+		}
+		modeRows[len(modeRows)-1][len(header)-1] = fmt.Sprintf("%.1f", float64(drain.Microseconds())/1e3)
+		rows = append(rows, modeRows...)
+		r.Close()
+	}
+
+	tab := Table{Table: "net", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Network serving: open-loop TCP load at P=%d (%d in-flight, %d queued; intended-time latency)",
+			o.Procs, sessions, queue)}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(failures) == 0 {
+		fmt.Fprintln(w, "validation: all systems agree on the request-stream checksum; bursts shed explicitly")
+	}
+	return nil
+}
+
+// runNetLeg drives one open loop against a live front end over loopback,
+// one pre-dialed connection per stream — the same do-loop hhshoot uses.
+func runNetLeg(addr string, leg netLeg, capacity int) (load.OpenResult, error) {
+	conns := int(leg.connsPerCap * float64(capacity))
+	if conns < 2 {
+		conns = 2
+	}
+	clients := make([]*netserve.Client, conns)
+	for i := range clients {
+		c, err := netserve.Dial(addr)
+		if err != nil {
+			return load.OpenResult{}, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	res := load.OpenLoop(leg.requests, conns, leg.shape, func(stream int, i uint64) load.OpenOutcome {
+		c := clients[stream]
+		for {
+			sum, shed, backoff, err := c.Run("kv", i+1, 600)
+			if err != nil {
+				return load.OpenOutcome{Err: err}
+			}
+			if !shed {
+				return load.OpenOutcome{OK: true, Checksum: sum}
+			}
+			if !leg.retryShed {
+				return load.OpenOutcome{Shed: true}
+			}
+			if backoff <= 0 {
+				backoff = time.Millisecond
+			}
+			time.Sleep(backoff)
+		}
+	})
+	return res, nil
+}
+
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1e3)
+}
