@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // resolveCommit finds the VCS revision to stamp into emitted tables: the
@@ -67,7 +68,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per table (JSON Lines) instead of text")
 	outDir := flag.String("out", "", "also write each table to DIR/BENCH_<table>.json")
 	commit := flag.String("commit", "", "commit id stamped into tables (default: build info, then git)")
+	traceFile := flag.String("trace", "",
+		"record a flight-recorder trace of the whole run and write Chrome trace-event JSON here")
 	flag.Parse()
+
+	if *traceFile != "" {
+		trace.Start(*procs, trace.DefaultBufEvents)
+		defer func() {
+			if err := trace.WriteFile(*traceFile); err != nil {
+				fmt.Fprintf(os.Stderr, "hhbench: writing trace: %v\n", err)
+			}
+			trace.Stop()
+		}()
+	}
 
 	opts := report.Options{Procs: *procs, Reps: *reps, Paper: *paper, JSON: *jsonOut,
 		OutDir: *outDir, Commit: *commit}

@@ -33,6 +33,7 @@ import (
 	"repro/hh"
 	"repro/hh/serve"
 	"repro/internal/load"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 		"staged pointees per promotion lock climb (0 = default 32, 1 = no batching)")
 	procsSweep := flag.String("procs-sweep", "",
 		"comma-separated worker counts; run every mode at each P and require one checksum (overrides -procs)")
+	traceFile := flag.String("trace", "",
+		"record a flight-recorder trace of the whole run and write Chrome trace-event JSON here (load in Perfetto)")
 	flag.Parse()
 
 	// With -procs-sweep the request stream is fixed while P varies, so the
@@ -102,6 +105,12 @@ func main() {
 		modes = []hh.Mode{m}
 	}
 
+	// The command owns the recorder (not each short-lived runtime), so one
+	// trace spans every mode and P of the run.
+	if *traceFile != "" {
+		trace.Start(maxP, trace.DefaultBufEvents)
+	}
+
 	failed := false
 	var refSum uint64
 	var refRun string
@@ -129,6 +138,15 @@ func main() {
 				failed = true
 			}
 		}
+	}
+	if *traceFile != "" {
+		if err := trace.WriteFile(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "hhload: writing trace: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("hhload: trace written to %s\n", *traceFile)
+		}
+		trace.Stop()
 	}
 	if failed {
 		os.Exit(1)

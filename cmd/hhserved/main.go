@@ -7,6 +7,13 @@
 //	hhserved -addr :7711 -mode parmem -procs 8
 //	hhserved -tenants 'gold:prio=0,share=0.8;free:prio=1,share=0.25'
 //	hhserved -metrics-addr :7712          # Prometheus /metrics + /healthz
+//	hhserved -debug-addr :7713            # net/http/pprof + /debug/trace
+//
+// With -debug-addr the server exposes Go's pprof endpoints
+// (/debug/pprof/...) and the runtime flight recorder: GET
+// /debug/trace?sec=N records for N seconds and streams a Perfetto-ready
+// Chrome trace-event JSON snapshot of the per-worker event rings
+// (tracing is on by default; size the rings with -trace-buf, 0 disables).
 //
 // The wire protocol is a RESP subset (see hh/serve/netserve): PING,
 // HELLO <tenant>, RUN <scenario> <seed> <size>, STATS, QUIT. Overload is
@@ -25,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,11 +43,14 @@ import (
 	"repro/hh"
 	"repro/hh/serve"
 	"repro/hh/serve/netserve"
+	"repro/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7711", "TCP listen address for the request protocol")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /healthz (empty = disabled)")
+	debugAddr := flag.String("debug-addr", "", "HTTP listen address for /debug/pprof and /debug/trace (empty = disabled)")
+	traceBuf := flag.Int("trace-buf", trace.DefaultBufEvents, "flight-recorder ring size in events per worker (0 = tracing off)")
 	modeName := flag.String("mode", "parmem", "runtime mode: parmem|stw|seq|manticore")
 	procs := flag.Int("procs", runtime.NumCPU(), "runtime workers")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request sessions (0 = procs)")
@@ -67,7 +79,11 @@ func main() {
 	if runtime.GOMAXPROCS(0) < *procs {
 		runtime.GOMAXPROCS(*procs)
 	}
-	r := hh.New(hh.WithMode(mode), hh.WithProcs(*procs), hh.WithGCPolicy(*gcMin, *gcRatio))
+	rtOpts := []hh.Option{hh.WithMode(mode), hh.WithProcs(*procs), hh.WithGCPolicy(*gcMin, *gcRatio)}
+	if *traceBuf > 0 {
+		rtOpts = append(rtOpts, hh.WithTrace(*traceBuf))
+	}
+	r := hh.New(rtOpts...)
 	baseline := hh.ChunksInUse()
 	hierarchical := mode == hh.ParMem || mode == hh.Seq
 
@@ -113,6 +129,26 @@ func main() {
 		fmt.Printf("hhserved: metrics on http://%s/metrics\n", mlis.Addr())
 	}
 
+	var dsrv interface{ Close() error }
+	if *debugAddr != "" {
+		dlis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/trace", trace.Handler())
+		hsrv := &http.Server{Handler: mux}
+		go hsrv.Serve(dlis)
+		dsrv = hsrv
+		fmt.Printf("hhserved: debug on http://%s/debug\n", dlis.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	s := <-sig
@@ -146,6 +182,9 @@ func main() {
 	}
 	if msrv != nil {
 		msrv.Close()
+	}
+	if dsrv != nil {
+		dsrv.Close()
 	}
 	r.Close()
 	os.Exit(code)

@@ -29,6 +29,7 @@ import (
 
 	"repro/hh/serve/netserve"
 	"repro/internal/load"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 	maxShedRate := flag.Float64("max-shed-rate", -1,
 		"fail if the shed fraction exceeds this (-1 = never fail on sheds)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
+	traceFile := flag.String("trace", "",
+		"record client-side request spans (one track per connection) and write Chrome trace-event JSON here")
 	flag.Parse()
 
 	shape, err := load.ParseShape(*shapeSpec)
@@ -69,17 +72,27 @@ func main() {
 		clients[i] = c
 	}
 
+	if *traceFile != "" {
+		trace.Start(*conns, trace.DefaultBufEvents)
+	}
+
 	res := load.OpenLoop(*requests, *conns, shape, func(stream int, i uint64) load.OpenOutcome {
 		c := clients[stream]
+		// One client-side request span per attempt chain, on the stream's
+		// track: end aux encodes the outcome (0 ok, 1 shed, 2 error).
+		span := trace.Begin(stream, trace.EvRequest, 0, i)
 		for {
 			sum, shed, backoff, err := c.Run(*scenario, i+1, *size)
 			if err != nil {
+				trace.End(stream, trace.EvRequest, span, 2, i)
 				return load.OpenOutcome{Err: err}
 			}
 			if !shed {
+				trace.End(stream, trace.EvRequest, span, 0, i)
 				return load.OpenOutcome{OK: true, Checksum: sum}
 			}
 			if !*retryShed {
+				trace.End(stream, trace.EvRequest, span, 1, i)
 				return load.OpenOutcome{Shed: true}
 			}
 			if backoff <= 0 {
@@ -88,6 +101,13 @@ func main() {
 			time.Sleep(backoff)
 		}
 	})
+
+	if *traceFile != "" {
+		if err := trace.WriteFile(*traceFile); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
+		trace.Stop()
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

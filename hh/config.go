@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gc"
 	"repro/internal/rts"
+	"repro/internal/trace"
 )
 
 // Mode selects which of the paper's four runtime systems to run.
@@ -157,6 +158,23 @@ func WithoutWritePtrFastPath() Option { return WithoutBarrierFastPath() }
 // batch as individual WritePtr calls.
 func WithPromoteBufferObjects(n int) Option {
 	return func(c *rts.Config) { c.PromoteBufferObjects = n }
+}
+
+// WithTrace enables the runtime's flight recorder: per-worker lock-free
+// rings of bufEvents fixed-size events each (0 selects the default, 65536 ≈
+// 2.6 MB per worker) recording zone collections, promotion climbs, session
+// lifecycles, STW pauses, pool traffic, and sheds. The rings are bounded
+// and overwrite oldest-first, so tracing is safe to leave on in production;
+// snapshot them with hhserved's /debug/trace endpoint or the -trace flag of
+// hhload/hhbench/hhshoot, and load the JSON in Perfetto. Disabled (the
+// default), every emit site costs one predicted-false branch.
+func WithTrace(bufEvents int) Option {
+	return func(c *rts.Config) {
+		if bufEvents <= 0 {
+			bufEvents = trace.DefaultBufEvents
+		}
+		c.TraceBufEvents = bufEvents
+	}
 }
 
 // newConfig applies opts over the defaults.

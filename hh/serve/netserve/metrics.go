@@ -42,7 +42,9 @@ func (f *Frontend) WriteMetrics(buf *bytes.Buffer) {
 	fmt.Fprintf(buf, "# TYPE hh_queue_depth gauge\nhh_queue_depth %d\n", queued)
 	fmt.Fprintf(buf, "# TYPE hh_queue_cap gauge\nhh_queue_cap %d\n", queueDepth)
 
-	// Latency quantiles (server-observed, submit-to-completion).
+	// Latency quantiles (server-observed, submit-to-completion). A summary
+	// needs the _sum/_count pair or rate()-based average queries silently
+	// return nothing.
 	fmt.Fprintf(buf, "# TYPE hh_latency_seconds summary\n")
 	for _, q := range []struct {
 		q string
@@ -50,6 +52,20 @@ func (f *Frontend) WriteMetrics(buf *bytes.Buffer) {
 	}{{"0.5", st.LatencyP50}, {"0.9", st.LatencyP90}, {"0.99", st.LatencyP99},
 		{"0.999", st.LatencyP999}, {"1", st.LatencyMax}} {
 		fmt.Fprintf(buf, "hh_latency_seconds{quantile=%q} %.6f\n", q.q, sec(q.v))
+	}
+	fmt.Fprintf(buf, "hh_latency_seconds_sum %.6f\n", sec(st.LatencySum))
+	fmt.Fprintf(buf, "hh_latency_seconds_count %d\n", st.LatencyCount)
+
+	// Latency attribution by phase. An attribution of work, not a disjoint
+	// partition: a parallel session's GC and climb time can overlap the
+	// same wall clock (see serve.ServeStats).
+	fmt.Fprintf(buf, "# TYPE hh_latency_breakdown_seconds_total counter\n")
+	for _, p := range []struct {
+		phase string
+		v     time.Duration
+	}{{"queue", st.QueueWaitTotal}, {"gc", st.GCTotal},
+		{"barrier", st.BarrierTotal}, {"mutator", st.MutatorTotal}} {
+		fmt.Fprintf(buf, "hh_latency_breakdown_seconds_total{phase=%q} %.6f\n", p.phase, sec(p.v))
 	}
 
 	// Front-end traffic.
@@ -91,14 +107,40 @@ func (f *Frontend) WriteMetrics(buf *bytes.Buffer) {
 		rt.Ops.PromotedBytes())
 	fmt.Fprintf(buf, "# TYPE hh_zone_collections_total counter\nhh_zone_collections_total %d\n",
 		rt.Zones.Zones)
+	fmt.Fprintf(buf, "# TYPE hh_zone_overlap_seconds_total counter\nhh_zone_overlap_seconds_total %.6f\n",
+		float64(rt.Zones.OverlapNanos)/1e9)
+	fmt.Fprintf(buf, "# TYPE hh_zone_concurrent_peak gauge\nhh_zone_concurrent_peak %d\n",
+		rt.Zones.MaxConcurrent)
 	fmt.Fprintf(buf, "# TYPE hh_zone_sessions_peak gauge\nhh_zone_sessions_peak %d\n",
 		rt.Zones.MaxConcurrentSessions)
+	fmt.Fprintf(buf, "# TYPE hh_gc_seconds_total counter\nhh_gc_seconds_total %.6f\n",
+		float64(rt.GCNanos)/1e9)
+	fmt.Fprintf(buf, "# TYPE hh_sessions_total counter\n")
+	fmt.Fprintf(buf, "hh_sessions_total{outcome=\"completed\"} %d\n", rt.Sessions.Completed)
+	fmt.Fprintf(buf, "hh_sessions_total{outcome=\"failed\"} %d\n", rt.Sessions.Failed)
 	fmt.Fprintf(buf, "# TYPE hh_sessions_peak gauge\nhh_sessions_peak %d\n", rt.Sessions.PeakLive)
 	fmt.Fprintf(buf, "# TYPE hh_steals_total counter\nhh_steals_total %d\n", rt.Steals)
+
+	// Barrier traffic by cost class (the Figure 8 split): the fast paths
+	// never touch a heap lock, the promoting class pays a lock climb.
+	fmt.Fprintf(buf, "# TYPE hh_ptr_writes_total counter\n")
+	fmt.Fprintf(buf, "hh_ptr_writes_total{path=\"fast\"} %d\n", rt.Ops.WritePtrFast)
+	fmt.Fprintf(buf, "hh_ptr_writes_total{path=\"ancestor\"} %d\n", rt.Ops.WritePtrAncestor)
+	fmt.Fprintf(buf, "hh_ptr_writes_total{path=\"nonprom\"} %d\n", rt.Ops.WritePtrNonProm)
+	fmt.Fprintf(buf, "hh_ptr_writes_total{path=\"prom\"} %d\n", rt.Ops.WritePtrProm)
+
+	// Dead-task totals: counters merged from completed tasks into the
+	// sharded runtime totals (allocation volume by the mutators).
+	fmt.Fprintf(buf, "# TYPE hh_task_allocs_total counter\nhh_task_allocs_total %d\n", rt.Ops.Allocs)
+	fmt.Fprintf(buf, "# TYPE hh_task_alloc_words_total counter\nhh_task_alloc_words_total %d\n",
+		rt.Ops.AllocWords)
+
 	fmt.Fprintf(buf, "# TYPE hh_chunk_acquires_total counter\n")
 	fmt.Fprintf(buf, "hh_chunk_acquires_total{tier=\"cache\"} %d\n", rt.Alloc.CacheHits)
 	fmt.Fprintf(buf, "hh_chunk_acquires_total{tier=\"pool\"} %d\n", rt.Alloc.PoolHits)
 	fmt.Fprintf(buf, "hh_chunk_acquires_total{tier=\"fresh\"} %d\n", rt.Alloc.FreshChunks)
+	fmt.Fprintf(buf, "# TYPE hh_pool_shard_steals_total counter\nhh_pool_shard_steals_total %d\n",
+		rt.Alloc.ShardSteals)
 	fmt.Fprintf(buf, "# TYPE hh_pooled_bytes gauge\nhh_pooled_bytes %d\n", rt.Alloc.PooledBytes)
 }
 

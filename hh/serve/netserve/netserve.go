@@ -13,6 +13,7 @@ import (
 
 	"repro/hh"
 	"repro/hh/serve"
+	"repro/internal/trace"
 )
 
 // Runner executes one decoded request on its session's root task. The
@@ -216,6 +217,10 @@ func (f *Frontend) dropConn(c *conn) {
 // Drain is idempotent: concurrent and repeated calls all wait for the
 // same quiescent point.
 func (f *Frontend) Drain(ctx context.Context) error {
+	var span uint64
+	if trace.Enabled() {
+		span = trace.Begin(-1, trace.EvDrain, trace.DrainFrontend, 0)
+	}
 	f.draining.Store(true)
 	f.lis.Close()
 	f.accepting.Wait()
@@ -237,10 +242,17 @@ func (f *Frontend) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if span != 0 {
+			trace.End(-1, trace.EvDrain, span, 0, 0)
+		}
 		return nil
 	case <-ctx.Done():
 		f.forceClose()
 		<-done
+		if span != 0 {
+			// aux=1: the deadline expired and remaining conns were forced.
+			trace.End(-1, trace.EvDrain, span, 1, 0)
+		}
 		return ctx.Err()
 	}
 }
@@ -431,6 +443,12 @@ func (c *conn) dispatchRun(args [][]byte) {
 func (c *conn) shed(tn *Tenant, reason int, queued, queueDepth int) {
 	tn.shed[reason].Add(1)
 	c.f.shedTotals[reason].Add(1)
+	// Saturated sheds are already emitted by serve.SubmitRequest at the
+	// moment of rejection; emitting the front-end gates here keeps every
+	// shed in the trace exactly once.
+	if reason != shedSaturated && trace.Enabled() {
+		trace.Emit(-1, trace.EvShed, uint32(reason), uint64(queued))
+	}
 	backoff := 1 + 2*queued
 	if backoff > 100 {
 		backoff = 100

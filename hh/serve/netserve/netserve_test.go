@@ -380,6 +380,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		`hh_up{mode="mlton-parmem"} 1`,
 		`hh_requests_total{outcome="completed"} 1`,
 		"hh_latency_seconds{quantile=\"0.999\"}",
+		"hh_latency_seconds_sum",
+		"hh_latency_seconds_count 1",
+		`hh_latency_breakdown_seconds_total{phase="mutator"}`,
+		`hh_ptr_writes_total{path="fast"}`,
+		`hh_sessions_total{outcome="completed"} 1`,
+		"hh_zone_overlap_seconds_total",
+		"hh_zone_concurrent_peak",
+		"hh_gc_seconds_total",
+		"hh_task_allocs_total",
+		"hh_pool_shard_steals_total",
 		"hh_wholesale_bytes_total",
 		"hh_chunks_in_use",
 		"hh_connections_total 1",

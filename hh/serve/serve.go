@@ -8,6 +8,7 @@ import (
 
 	"repro/hh"
 	"repro/internal/lat"
+	"repro/internal/trace"
 )
 
 // ErrSaturated rejects a Submit that found the server at MaxInFlight with
@@ -77,6 +78,8 @@ type Ticket struct {
 	srv       *Server
 	req       Request
 	submitted time.Time
+	started   time.Time // when the session launched (== submitted minus queue wait)
+	qspan     uint64    // trace span covering the backpressure-queue wait
 	ses       *hh.Session
 	res       uint64
 	err       error
@@ -161,6 +164,11 @@ func (s *Server) SubmitRequest(req Request) (*Ticket, error) {
 			s.stats.PeakQueued = len(s.queue)
 		}
 		s.stats.Submitted++
+		if trace.Enabled() {
+			// Under s.mu: complete() may pop this ticket and launch it the
+			// instant the lock drops, and launch reads qspan.
+			tk.qspan = trace.Begin(-1, trace.EvQueue, uint32(len(s.queue)), 0)
+		}
 		s.mu.Unlock()
 		return tk, nil
 	}
@@ -170,6 +178,9 @@ func (s *Server) SubmitRequest(req Request) (*Ticket, error) {
 		Queued: len(s.queue), QueueDepth: s.queueDepth,
 	}
 	s.mu.Unlock()
+	if trace.Enabled() {
+		trace.Emit(-1, trace.EvShed, trace.ShedSaturated, uint64(rej.Queued))
+	}
 	return nil, rej
 }
 
@@ -195,7 +206,11 @@ func (s *Server) launch(tk *Ticket) {
 	if budget == 0 {
 		budget = s.budget
 	}
+	tk.started = time.Now()
 	tk.ses = s.r.Submit(hh.SessionOpts{Pin: tk.req.Pin, BudgetWords: budget}, tk.req.Fn)
+	if tk.qspan != 0 {
+		trace.End(-1, trace.EvQueue, tk.qspan, 0, tk.ses.ID())
+	}
 	go func() {
 		tk.res, tk.err = tk.ses.Wait()
 		s.complete(tk)
@@ -207,13 +222,35 @@ func (s *Server) launch(tk *Ticket) {
 // oldest queued request (if any), and wakes Drain when the server is idle.
 func (s *Server) complete(tk *Ticket) {
 	now := time.Now()
+
+	// Latency attribution: split Submit-to-completion wall time into queue
+	// wait (admission to launch), overlapped GC and promotion-climb time
+	// (accumulated by the session's tasks), and mutator time (the residual,
+	// clamped at zero — GC and climbs of a parallel session can overlap each
+	// other, so the components may oversubscribe the wall clock).
+	total := now.Sub(tk.submitted)
+	queue := time.Duration(0)
+	if !tk.started.IsZero() {
+		queue = tk.started.Sub(tk.submitted)
+	}
+	gcd := time.Duration(tk.ses.GCNanos())
+	barrier := time.Duration(tk.ses.BarrierNanos())
+	mutator := total - queue - gcd - barrier
+	if mutator < 0 {
+		mutator = 0
+	}
+
 	s.mu.Lock()
 	if tk.err != nil {
 		s.stats.Failed++
 	} else {
 		s.stats.Completed++
 	}
-	s.hist.Record(now.Sub(tk.submitted))
+	s.hist.Record(total)
+	s.stats.QueueWaitTotal += queue
+	s.stats.GCTotal += gcd
+	s.stats.BarrierTotal += barrier
+	s.stats.MutatorTotal += mutator
 	s.stats.WholesaleBytes += tk.ses.WholesaleBytes()
 	s.stats.MergedBytes += tk.ses.MergedBytes()
 	if now.After(s.lastDone) {
@@ -251,11 +288,18 @@ func (s *Server) complete(tk *Ticket) {
 // a shutdown watchdog may be draining too). A Drain of a server that never
 // saw traffic returns immediately.
 func (s *Server) Drain() {
+	var span uint64
+	if trace.Enabled() {
+		span = trace.Begin(-1, trace.EvDrain, trace.DrainServer, 0)
+	}
 	s.mu.Lock()
 	for s.inFlight > 0 || len(s.queue) > 0 {
 		s.quiesced.Wait()
 	}
 	s.mu.Unlock()
+	if span != 0 {
+		trace.End(-1, trace.EvDrain, span, 0, 0)
+	}
 }
 
 // Stats snapshots the server's serving statistics.
@@ -273,5 +317,7 @@ func (s *Server) Stats() ServeStats {
 	st.LatencyP99 = s.hist.Quantile(0.99)
 	st.LatencyP999 = s.hist.Quantile(0.999)
 	st.LatencyMax = s.hist.Max()
+	st.LatencyCount = s.hist.Count()
+	st.LatencySum = s.hist.Sum()
 	return st
 }

@@ -115,6 +115,59 @@ func TestServeStressAllModes(t *testing.T) {
 	}
 }
 
+// TestLatencyAttribution checks the per-request breakdown: with more
+// clients than in-flight slots the queue-wait component must be nonzero,
+// the promoting workload must charge GC and barrier time, and the summary
+// pair (LatencyCount/LatencySum) must agree with the completion count.
+func TestLatencyAttribution(t *testing.T) {
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2), hh.WithGCPolicy(2048, 1.25))
+	defer r.Close()
+
+	const requests = 24
+	srv := New(r, WithMaxInFlight(2), WithQueueDepth(requests))
+	var tickets []*Ticket
+	for i := 0; i < requests; i++ {
+		// n=400 (not the stress's 40) so every request triggers collections
+		// and the GC component of the breakdown is exercised.
+		tk, err := srv.Submit(func(task *hh.Task) uint64 { return request(task, 1, 400) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Drain()
+
+	st := srv.Stats()
+	if st.LatencyCount != requests || st.Completed != requests {
+		t.Fatalf("count %d completed %d, want %d", st.LatencyCount, st.Completed, requests)
+	}
+	if st.LatencySum <= 0 {
+		t.Fatalf("LatencySum = %v, want > 0", st.LatencySum)
+	}
+	if st.QueueWaitTotal <= 0 {
+		t.Fatalf("QueueWaitTotal = %v, want > 0 (24 requests through 2 slots must queue)", st.QueueWaitTotal)
+	}
+	if st.GCTotal <= 0 || st.BarrierTotal <= 0 {
+		t.Fatalf("GCTotal = %v BarrierTotal = %v, want both > 0 for a promoting workload",
+			st.GCTotal, st.BarrierTotal)
+	}
+	q, gc, bar, mut := st.Breakdown()
+	if sum := q + gc + bar + mut; sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown fractions sum to %f, want 1", sum)
+	}
+	if s := st.BreakdownString(); s == "-" || s == "" {
+		t.Fatalf("BreakdownString = %q on a populated server", s)
+	}
+	if (ServeStats{}).BreakdownString() != "-" {
+		t.Fatal("empty stats should format as \"-\"")
+	}
+}
+
 // TestServeDrainReturnsToBaseline is the strict leak check: with no pinned
 // work at all, ChunksInUse returns exactly to the pre-traffic baseline
 // after Drain.

@@ -79,3 +79,15 @@ func (s *Session) WholesaleBytes() int64 { return s.inner.WholesaleBytes() }
 // MergedBytes reports the chunk bytes a pinned session merged into the
 // super-root on completion.
 func (s *Session) MergedBytes() int64 { return s.inner.MergedBytes() }
+
+// GCNanos reports the time the session's tasks spent inside collections
+// (zone or stop-the-world), summed across all of its tasks. Valid after
+// Wait returns; 0 while the session is in flight. Together with
+// BarrierNanos this is the per-request latency attribution the serving
+// layer surfaces in serve.ServeStats.
+func (s *Session) GCNanos() int64 { return s.inner.GCNanos() }
+
+// BarrierNanos reports the time the session's tasks spent inside promotion
+// lock climbs (lock acquisition + transitive copy + store). Valid after
+// Wait returns.
+func (s *Session) BarrierNanos() int64 { return s.inner.BarrierNanos() }

@@ -32,6 +32,7 @@ type Counters struct {
 	PromotedWords     int64 // words copied upward
 	PromoteClimbs     int64 // promotion lock climbs (≤ Promotions when batching)
 	ClimbLockedHeaps  int64 // heaps write-locked across all climbs
+	PromoteNanos      int64 // wall time inside promotion climbs (lock + copy + store)
 	FindMasterRetries int64 // double-checked locking retries
 }
 
@@ -58,6 +59,7 @@ func (c *Counters) Add(o *Counters) {
 	c.PromotedWords += o.PromotedWords
 	c.PromoteClimbs += o.PromoteClimbs
 	c.ClimbLockedHeaps += o.ClimbLockedHeaps
+	c.PromoteNanos += o.PromoteNanos
 	c.FindMasterRetries += o.FindMasterRetries
 }
 

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // DefaultPromoteBufferObjects is the default capacity of a task's promote
@@ -12,6 +14,20 @@ import (
 // promote before a new climb starts. Capacity 1 turns batching off (one
 // climb per promoting write — the ablation baseline).
 const DefaultPromoteBufferObjects = 32
+
+// climbSpanFloor separates climbs the flight recorder records as individual
+// spans from those it coalesces. A promoting climb is often ~100 ns — close
+// to the cost of one ring publish — so emitting every climb can tax the
+// barrier by double-digit percentages on promotion-heavy mixes. Climbs at or
+// above the floor get their own EvClimb complete span (these are the stalls
+// worth seeing on a timeline); shorter ones accumulate in the task's
+// PromoteBuf and go out as one EvClimb instant per climbCoalesce climbs,
+// carrying their count, total time, objects, and max lock depth — the trace
+// keeps full climb accounting at ~1/64 the publish rate.
+const (
+	climbSpanFloor = time.Microsecond
+	climbCoalesce  = 64
+)
 
 // PromoteBuf is a task-private promotion scratch buffer. It serves two
 // jobs on the promoting write path:
@@ -26,14 +42,29 @@ const DefaultPromoteBufferObjects = 32
 // A PromoteBuf is single-goroutine (each rts.Task embeds one); the zero
 // value is ready to use with the default capacity.
 type PromoteBuf struct {
-	max int // flush-group capacity; 0 = default, 1 = per-object climbs
+	max     int   // flush-group capacity; 0 = default, 1 = per-object climbs
+	trackP1 int32 // trace track (worker ID + 1); the zero value is off-worker
 
 	stagedFields []int
 	stagedPtrs   []mem.ObjPtr
 
 	locked []*heap.Heap // climb scratch: the write-locked heap path
 	scan   []mem.ObjPtr // promotion worklist: fresh copies to field-fix
+
+	// Sub-floor climb coalescing state (see climbSpanFloor / emitClimb).
+	// Task-private like the rest of the buffer, so no atomics.
+	shortClimbs uint32
+	shortObjs   uint32
+	shortDepth  uint32
+	shortNanos  int64
 }
+
+// SetTrack records the worker ID whose timeline trace climb spans from this
+// buffer should land on. Transient buffers (the zero value) attribute to
+// the shared off-worker track.
+func (b *PromoteBuf) SetTrack(worker int) { b.trackP1 = int32(worker) + 1 }
+
+func (b *PromoteBuf) track() int { return int(b.trackP1) - 1 }
 
 // NewPromoteBuf returns a buffer with the given flush capacity (in staged
 // objects per climb). n == 0 selects DefaultPromoteBufferObjects; n == 1
@@ -114,6 +145,46 @@ func (b *PromoteBuf) lockPath(ops *Counters, src *heap.Heap, obj mem.ObjPtr) (me
 	return obj, target
 }
 
+// emitClimb records one finished climb with the flight recorder. Climbs are
+// the hottest emit site, so two costs are shaved: the timing reuses the
+// start/elapsed the caller already measured for PromoteNanos (no extra clock
+// reads), and climbs shorter than climbSpanFloor are coalesced into one
+// summary instant per climbCoalesce climbs instead of publishing each.
+func (b *PromoteBuf) emitClimb(start time.Time, elapsed time.Duration, batch, depth int) {
+	if elapsed >= climbSpanFloor {
+		trace.Complete(b.track(), trace.EvClimb, start, elapsed, 0,
+			uint64(batch)<<32|uint64(depth))
+		return
+	}
+	b.shortClimbs++
+	b.shortObjs += uint32(batch)
+	if uint32(depth) > b.shortDepth {
+		b.shortDepth = uint32(depth)
+	}
+	b.shortNanos += elapsed.Nanoseconds()
+	if b.shortClimbs >= climbCoalesce {
+		b.FlushClimbTrace()
+	}
+}
+
+// FlushClimbTrace publishes any coalesced sub-floor climbs as one EvClimb
+// instant (aux = count<<8 | max lock depth, arg = total nanos<<32 | objects)
+// and clears the accumulator. The runtime calls it when a task finishes so
+// a task's tail of short climbs is not lost; a transient buffer's tail is
+// dropped, which a flight recorder tolerates by design.
+func (b *PromoteBuf) FlushClimbTrace() {
+	if b.shortClimbs == 0 {
+		return
+	}
+	depth := b.shortDepth
+	if depth > 0xff {
+		depth = 0xff
+	}
+	trace.Emit(b.track(), trace.EvClimb, b.shortClimbs<<8|depth,
+		uint64(b.shortNanos)<<32|uint64(b.shortObjs))
+	b.shortClimbs, b.shortObjs, b.shortDepth, b.shortNanos = 0, 0, 0, 0
+}
+
 // unlockPath releases the climb's locks, shallowest first.
 func (b *PromoteBuf) unlockPath() {
 	for i := len(b.locked) - 1; i >= 0; i-- {
@@ -145,10 +216,17 @@ func writePromote(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, obj mem.Ob
 		panic(fmt.Sprintf("core: writePromote precondition violated: target depth %d >= source depth %d",
 			target.Depth(), src.Depth()))
 	}
+	start := time.Now()
 	obj, target = buf.lockPath(ops, src, obj)
 	promoted := promote(cc, buf, ops, target, ptr)
 	mem.StorePtrFieldAtomic(obj, field, promoted)
+	depth := len(buf.locked)
 	buf.unlockPath()
+	elapsed := time.Since(start)
+	ops.PromoteNanos += elapsed.Nanoseconds()
+	if trace.Enabled() {
+		buf.emitClimb(start, elapsed, 1, depth)
+	}
 }
 
 // writePromoteBatch is writePromote amortized over a staged batch: fields
@@ -172,11 +250,18 @@ func writePromoteBatch(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, obj m
 		panic(fmt.Sprintf("core: writePromoteBatch precondition violated: target depth %d >= source depth %d",
 			target.Depth(), src.Depth()))
 	}
+	start := time.Now()
 	obj, target = buf.lockPath(ops, src, obj)
 	for i, q := range ptrs {
 		mem.StorePtrFieldAtomic(obj, fields[i], promote(cc, buf, ops, target, q))
 	}
+	depth := len(buf.locked)
 	buf.unlockPath()
+	elapsed := time.Since(start)
+	ops.PromoteNanos += elapsed.Nanoseconds()
+	if trace.Enabled() {
+		buf.emitClimb(start, elapsed, len(ptrs), depth)
+	}
 }
 
 // promote copies the object graph reachable from p into target (or reuses

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Concurrent zone scheduling (paper §3.4): disjoint subtrees of the heap
@@ -348,6 +349,19 @@ func (s *ZoneScheduler) CollectSessionZone(cc *mem.ChunkCache, family uint64, zo
 	copy(z, zone)
 	heap.SortZone(z)
 
+	// The span opens BEFORE admission so an admission stall (a conflicting
+	// in-flight zone, or the concurrency cap) is visible as the gap between
+	// this zone's span start and its copy work — exactly the signal the
+	// zones table's aggregate counters cannot show.
+	track := -1
+	if cc != nil {
+		track = cc.Owner()
+	}
+	var span uint64
+	if trace.Enabled() && len(z) > 0 {
+		aux := uint32(kind)&0xff | uint32(s.stripeFor(z[0]))<<8
+		span = trace.Begin(track, trace.EvZone, aux, z[0].ID())
+	}
 	s.Admit(z, family)
 	start := time.Now()
 	heap.LockZone(z)
@@ -355,6 +369,9 @@ func (s *ZoneScheduler) CollectSessionZone(cc *mem.ChunkCache, family uint64, zo
 	heap.UnlockZone(z)
 	dur := time.Since(start).Nanoseconds()
 	s.Release(z, family)
+	if span != 0 {
+		trace.End(track, trace.EvZone, span, 0, uint64(st.WordsCopied))
+	}
 
 	s.statsMu.Lock()
 	s.stats.Zones++

@@ -52,6 +52,11 @@ func (h *Hist) Merge(other *Hist) {
 // Count reports the number of recorded samples.
 func (h *Hist) Count() int64 { return h.count }
 
+// Sum reports the total of all recorded samples. Together with Count it
+// gives exporters the _sum/_count pair a Prometheus summary needs for
+// rate()-based averages.
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum) }
+
 // Max reports the largest recorded sample.
 func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Recycling allocator: instead of handing every dead chunk back to the Go
@@ -379,6 +381,7 @@ func PooledBytes() int64 { return poolBytes.Load() }
 type ChunkCache struct {
 	perClass int
 	home     int // preferred pool shard (mod the active shard count at use)
+	owner    int // owning worker ID + 1 for trace attribution; 0 = unowned
 	classes  [numClasses][]slab
 	held     int
 	heldB    int64
@@ -407,6 +410,14 @@ func (cc *ChunkCache) PerClass() int { return cc.perClass }
 // HomeShard returns the pool shard this cache overflows to and acquires
 // from first, under the current shard count.
 func (cc *ChunkCache) HomeShard() int { return cc.home % ChunkPoolShards() }
+
+// SetOwner records the worker ID that owns this cache, used only to place
+// trace events on the owner's timeline track. Callers that never trace can
+// skip it; the zero value attributes to the off-worker track.
+func (cc *ChunkCache) SetOwner(id int) { cc.owner = id + 1 }
+
+// Owner returns the owning worker ID, or -1 when unowned.
+func (cc *ChunkCache) Owner() int { return cc.owner - 1 }
 
 func (cc *ChunkCache) take(cls int) (slab, bool) {
 	st := cc.classes[cls]
@@ -472,7 +483,7 @@ func poolPut(home, cls int, s slab) {
 // steal migrates up to poolStealBatch-1 extra slabs into the home shard,
 // so a persistent producer-consumer imbalance between workers costs O(1)
 // amortized cross-shard locks, not one per chunk.
-func poolGet(home, cls int) (slab, bool) {
+func poolGet(home, cls int) (s slab, stolen, ok bool) {
 	count := ChunkPoolShards()
 	home %= count
 	for i := 0; i < count; i++ {
@@ -505,9 +516,9 @@ func poolGet(home, cls int) (slab, bool) {
 				dst.mu.Unlock()
 			}
 		}
-		return s, true
+		return s, i != 0, true
 	}
-	return slab{}, false
+	return slab{}, false, false
 }
 
 // AcquireChunk allocates and registers a chunk able to hold words payload
@@ -534,8 +545,19 @@ func AcquireChunk(cc *ChunkCache, words int) *Chunk {
 		}
 		home = cc.home
 	}
-	if s, ok := poolGet(home, cls); ok {
+	if s, stolen, ok := poolGet(home, cls); ok {
 		allocCounters.poolHits.Add(1)
+		if trace.Enabled() {
+			track := -1
+			if cc != nil {
+				track = cc.Owner()
+			}
+			ev := trace.EvPoolRefill
+			if stolen {
+				ev = trace.EvPoolSteal
+			}
+			trace.Emit(track, ev, uint32(cls), 0)
+		}
 		return registerRecycled(s)
 	}
 	allocCounters.fresh.Add(1)

@@ -14,10 +14,13 @@ import (
 // ServeTable benchmarks the serving layer: a closed loop of mixed requests
 // (kv-churn, bfs query, histogram) drives an hh/serve.Server in every
 // runtime mode, each request an independent session reclaimed wholesale at
-// completion. The table reports throughput, latency quantiles, peak
-// concurrency, wholesale-versus-merged reclamation, and the cross-request
-// GC concurrency (peak distinct sessions collecting at once) — the serving
-// numbers the paper's single-program tables cannot show.
+// completion. The table reports throughput, latency quantiles, the
+// queue/gc/barrier/mutator latency breakdown, peak concurrency,
+// wholesale-versus-merged reclamation, and the cross-request GC concurrency
+// (peak distinct sessions collecting at once) — the serving numbers the
+// paper's single-program tables cannot show. A final mlton-parmem+trace row
+// repeats the parmem run with the flight recorder enabled; its req/s delta
+// is the measured cost of tracing.
 func ServeTable(w io.Writer, o Options) error {
 	o = o.normalize()
 	mix, err := load.ParseMix("kv=2,bfs=1,hist=1")
@@ -42,14 +45,30 @@ func ServeTable(w io.Writer, o Options) error {
 	mem.DrainChunkPool()
 
 	header := []string{"system", "req", "elapsed(s)", "req/s", "p50(ms)", "p99(ms)",
-		"peak-sess", "wholesale(MB)", "merged(MB)", "sess-zones", "cc-sess",
+		"breakdown", "peak-sess", "wholesale(MB)", "merged(MB)", "sess-zones", "cc-sess",
 		"recycle%", "dirops/req"}
+	systems := []struct {
+		name string
+		mode hh.Mode
+		opts []hh.Option
+	}{
+		{hh.Seq.String(), hh.Seq, nil},
+		{hh.STW.String(), hh.STW, nil},
+		{hh.Manticore.String(), hh.Manticore, nil},
+		{hh.ParMem.String(), hh.ParMem, nil},
+		// The flight-recorder ablation: the same parmem run with per-worker
+		// event rings recording every zone, climb, and session event. The
+		// req/s delta against the row above is the cost of enabled tracing.
+		{hh.ParMem.String() + "+trace", hh.ParMem, []hh.Option{hh.WithTrace(0)}},
+	}
 	var rows [][]string
 	var failures []string
 	var refSum uint64
 	var refMode string
-	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
-		r := hh.New(hh.WithMode(mode), hh.WithProcs(o.Procs), hh.WithGCPolicy(2048, 1.25))
+	for _, sys := range systems {
+		opts := append([]hh.Option{hh.WithMode(sys.mode), hh.WithProcs(o.Procs),
+			hh.WithGCPolicy(2048, 1.25)}, sys.opts...)
+		r := hh.New(opts...)
 		srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
 		res := load.Drive(srv, mix, sessions, requests, size, nil)
 		st := srv.Stats()
@@ -58,22 +77,23 @@ func ServeTable(w io.Writer, o Options) error {
 
 		if res.Failures > 0 {
 			failures = append(failures, fmt.Sprintf(
-				"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, mode))
+				"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, sys.name))
 		}
 		if refMode == "" {
-			refSum, refMode = res.Checksum, mode.String()
+			refSum, refMode = res.Checksum, sys.name
 		} else if res.Checksum != refSum {
 			failures = append(failures, fmt.Sprintf(
 				"VALIDATION FAILURE: request stream on %s: checksum %x, want %x (%s)",
-				mode, res.Checksum, refSum, refMode))
+				sys.name, res.Checksum, refSum, refMode))
 		}
 		rows = append(rows, []string{
-			mode.String(),
+			sys.name,
 			fmt.Sprintf("%d", st.Completed),
 			fmt.Sprintf("%.3f", res.Elapsed.Seconds()),
 			fmt.Sprintf("%.0f", st.Throughput),
 			fmt.Sprintf("%.2f", float64(st.LatencyP50.Microseconds())/1e3),
 			fmt.Sprintf("%.2f", float64(st.LatencyP99.Microseconds())/1e3),
+			st.BreakdownString(),
 			fmt.Sprintf("%d", st.PeakInFlight),
 			fmt.Sprintf("%.1f", float64(st.WholesaleBytes)/(1<<20)),
 			fmt.Sprintf("%.1f", float64(st.MergedBytes)/(1<<20)),

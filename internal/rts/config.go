@@ -92,6 +92,14 @@ type Config struct {
 	// core.DefaultPromoteBufferObjects; 1 climbs per object (the batching
 	// ablation).
 	PromoteBufferObjects int
+
+	// TraceBufEvents enables the flight recorder (internal/trace) with one
+	// ring of this many events per worker. 0 leaves tracing off: every emit
+	// site then costs a single predicted-false branch. The recorder is
+	// process-global like the memory accounting; if another owner (a -trace
+	// flag in a driving command) already started it, the runtime leaves it
+	// in place and emits into it.
+	TraceBufEvents int
 }
 
 // DefaultConfig returns a workable configuration for the given mode.

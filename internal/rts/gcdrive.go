@@ -6,6 +6,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/heap"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // The stop-the-world driver, used ONLY by the Spoonhower-style baseline
@@ -80,6 +81,16 @@ func (r *Runtime) triggerSTW(t *Task) {
 	}
 	r.gcInProgress = true
 	r.gcFlag.Store(true)
+	// The span opens before the rendezvous wait so the trace shows the full
+	// pause — flag raise to release — not just the copy phase.
+	track := -1
+	if t.w != nil {
+		track = t.w.ID
+	}
+	var span uint64
+	if trace.Enabled() {
+		span = trace.Begin(track, trace.EvSTW, 0, 0)
+	}
 	for r.gcStopped < r.pool.NumWorkers()-1 {
 		r.gcCond.Wait()
 	}
@@ -110,4 +121,7 @@ func (r *Runtime) triggerSTW(t *Task) {
 	r.gcFlag.Store(false)
 	r.gcCond.Broadcast()
 	r.gcMu.Unlock()
+	if span != 0 {
+		trace.End(track, trace.EvSTW, span, 0, uint64(stats.WordsCopied))
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Runtime is one configured runtime system. Create with New, execute with
@@ -45,6 +46,7 @@ type Runtime struct {
 	baselineAlloc  mem.AllocStats
 	prevPoolLimit  int64 // pool limit before New overrode it; Close restores
 	prevPoolShards int   // pool shard count before New overrode it
+	traceOwner     bool  // this runtime started the flight recorder; Close stops it
 
 	// Session accounting (session.go): every unit of work — including a
 	// plain Run — executes as a root-level session.
@@ -125,6 +127,13 @@ func New(cfg Config) *Runtime {
 	r.gcCond = sync.NewCond(&r.gcMu)
 	r.baselineBytes = mem.LiveBytes()
 	mem.ResetHighWater()
+
+	// Flight recorder: one event ring per worker plus the shared off-worker
+	// ring. If a driving command already owns a recorder, keep emitting into
+	// that one (Start refuses) and leave its lifetime to the owner.
+	if cfg.TraceBufEvents > 0 {
+		r.traceOwner = trace.Start(cfg.Procs, cfg.TraceBufEvents)
+	}
 
 	// Recycling allocator: configure the process-global pool (safe — only
 	// one Runtime is ever active) and remember the counter baseline so
@@ -234,6 +243,9 @@ func (r *Runtime) Run(fn func(*Task) uint64) uint64 {
 func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
 	t := &Task{rt: r, w: w, ses: s}
 	t.pbuf.SetCapacity(r.cfg.PromoteBufferObjects)
+	if w != nil {
+		t.pbuf.SetTrack(w.ID)
+	}
 	switch r.cfg.Mode {
 	case ParMem, Seq:
 		t.sh = heap.NewSuperheap(s.heap)
@@ -251,6 +263,9 @@ func (r *Runtime) newSessionTask(w *sched.Worker, s *Session) *Task {
 func (r *Runtime) newStolenTask(w *sched.Worker, forkHeap *heap.Heap, s *Session) *Task {
 	t := &Task{rt: r, w: w, ses: s}
 	t.pbuf.SetCapacity(r.cfg.PromoteBufferObjects)
+	if w != nil {
+		t.pbuf.SetTrack(w.ID)
+	}
 	switch r.cfg.Mode {
 	case ParMem:
 		base := heap.NewChild(forkHeap)
@@ -380,5 +395,8 @@ func (r *Runtime) Close() {
 	}
 	mem.SetChunkPoolLimit(r.prevPoolLimit)
 	mem.SetChunkPoolShards(r.prevPoolShards)
+	if r.traceOwner {
+		trace.Stop()
+	}
 	activeRuntime.Store(false)
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Multi-root sessions: the serving layer's unit of work. Each submitted
@@ -107,6 +108,14 @@ type Session struct {
 	err   error        // first failure
 	heaps []*heap.Heap // every heap the session's tasks created (for reclamation)
 
+	// Latency attribution, accumulated by Task.finish as the session's tasks
+	// complete: nanoseconds its tasks spent inside zone/STW collections and
+	// inside promotion lock climbs. Atomic because stolen tasks finish on
+	// other workers; all adds happen-before done closes (reclamation waits
+	// out every outstanding frame).
+	gcAttrNanos      atomic.Int64
+	barrierAttrNanos atomic.Int64
+
 	res            uint64
 	wholesaleBytes int64
 	mergedBytes    int64
@@ -142,6 +151,9 @@ func (r *Runtime) Submit(opts SessionOpts, fn func(*Task) uint64) *Session {
 		s.heaps = append(s.heaps, s.heap)
 	}
 	r.sessTotals.Submitted.Add(1)
+	if trace.Enabled() {
+		trace.Emit(-1, trace.EvSubmit, 0, s.id)
+	}
 	for {
 		peak := r.peakSessions.Load()
 		if live <= peak || r.peakSessions.CompareAndSwap(peak, live) {
@@ -166,6 +178,28 @@ func (r *Runtime) Submit(opts SessionOpts, fn func(*Task) uint64) *Session {
 func (s *Session) Wait() (uint64, error) {
 	<-s.done
 	return s.res, s.err
+}
+
+// GCNanos reports the time the session's tasks spent inside collections
+// (zone or STW), summed across tasks. Valid after Wait; 0 while in flight.
+func (s *Session) GCNanos() int64 {
+	select {
+	case <-s.done:
+		return s.gcAttrNanos.Load()
+	default:
+		return 0
+	}
+}
+
+// BarrierNanos reports the time the session's tasks spent inside promotion
+// lock climbs (lock + copy + store), summed across tasks. Valid after Wait.
+func (s *Session) BarrierNanos() int64 {
+	select {
+	case <-s.done:
+		return s.barrierAttrNanos.Load()
+	default:
+		return 0
+	}
 }
 
 // WholesaleBytes reports the chunk bytes released in bulk when the session
@@ -222,6 +256,14 @@ func (s *Session) frameDone() { s.outstanding.Add(-1) }
 // reclaims the subtree.
 func (s *Session) runRoot(w *sched.Worker, fn func(*Task) uint64) {
 	r := s.r
+	track := -1
+	if w != nil {
+		track = w.ID
+	}
+	var span uint64
+	if trace.Enabled() {
+		span = trace.Begin(track, trace.EvSession, 0, s.id)
+	}
 	t := r.newSessionTask(w, s)
 	res := s.protect(t, fn)
 	t.finish()
@@ -238,6 +280,13 @@ func (s *Session) runRoot(w *sched.Worker, fn func(*Task) uint64) {
 		time.Sleep(20 * time.Microsecond)
 	}
 	s.reclaim(w, res)
+	if span != 0 {
+		outcome := uint32(0)
+		if s.err != nil {
+			outcome = 1
+		}
+		trace.End(track, trace.EvSession, span, outcome, s.id)
+	}
 }
 
 // guard runs body on task t, converting a panic — the session's own code,

@@ -87,6 +87,7 @@ func WithChunkCaches(perClass int) PoolOption {
 	return func(p *Pool) {
 		for _, w := range p.workers {
 			w.Chunks = mem.NewChunkCache(perClass)
+			w.Chunks.SetOwner(w.ID)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the flight recorder over HTTP: GET /debug/trace?sec=N
+// sleeps N seconds (so the rings fill with the window the caller wants to
+// look at), snapshots, and streams Chrome trace-event JSON. With the
+// recorder disabled it answers 503. sec is clamped to [0, 60]; 0 snapshots
+// immediately — the rings already hold the recent past, which is the point
+// of a flight recorder.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !Enabled() {
+			http.Error(w, "tracing disabled (start hhserved with -trace-buf > 0)", http.StatusServiceUnavailable)
+			return
+		}
+		sec := 0
+		if v := r.URL.Query().Get("sec"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad sec parameter", http.StatusBadRequest)
+				return
+			}
+			sec = min(n, 60)
+		}
+		if sec > 0 {
+			select {
+			case <-time.After(time.Duration(sec) * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		s := TakeSnapshot()
+		if s == nil { // recorder stopped while we slept
+			http.Error(w, "tracing disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="hh-trace.json"`)
+		_ = s.WriteJSON(w)
+	})
+}

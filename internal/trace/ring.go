@@ -1,0 +1,84 @@
+package trace
+
+import "sync/atomic"
+
+// A ring is a fixed-size multi-producer event buffer. Each slot holds one
+// event: a sequence word plus four payload words. Producers claim a ticket
+// from next with a single atomic add, then publish into slot ticket%size
+// seqlock-style:
+//
+//	seq.Store(0)          // invalidate: readers must discard the old event
+//	w[0..3].Store(...)    // payload
+//	seq.Store(ticket+1)   // publish: seq encodes WHICH lap wrote the slot
+//
+// A reader snapshots next, then for each live ticket loads seq, the payload,
+// and seq again; the event is accepted only if both loads returned ticket+1.
+// Two producers a full lap apart can race on one slot — the loser's event is
+// torn and the seq check rejects it. That is the flight-recorder trade: under
+// overwrite pressure an event may be dropped, but a torn event is never
+// observed. All five words are atomics so the race detector agrees.
+//
+// The +1 bias keeps seq==0 as "never published / mid-write", so the zero
+// value of a slot is self-describingly empty.
+type ring struct {
+	next  atomic.Uint64
+	_     [7]uint64 // keep the hot ticket counter off the slots' cache lines
+	slots []slot
+}
+
+type slot struct {
+	seq atomic.Uint64
+	w   [4]atomic.Uint64
+}
+
+func newRing(size int) *ring {
+	if size < 1 {
+		size = 1
+	}
+	return &ring{slots: make([]slot, size)}
+}
+
+// publish claims the next ticket and writes one event. Safe for any number
+// of concurrent producers; never blocks, never allocates.
+func (r *ring) publish(w0, w1, w2, w3 uint64) {
+	t := r.next.Add(1) - 1
+	s := &r.slots[t%uint64(len(r.slots))]
+	s.seq.Store(0)
+	s.w[0].Store(w0)
+	s.w[1].Store(w1)
+	s.w[2].Store(w2)
+	s.w[3].Store(w3)
+	s.seq.Store(t + 1)
+}
+
+// drain reads every currently-live event into out, skipping slots that are
+// mid-write or that were overwritten while being read. Producers may keep
+// publishing concurrently; drain only returns seq-consistent events.
+func (r *ring) drain(out []rawEvent) []rawEvent {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	lo := uint64(0)
+	if n > size {
+		lo = n - size
+	}
+	for t := lo; t < n; t++ {
+		s := &r.slots[t%size]
+		if s.seq.Load() != t+1 {
+			continue
+		}
+		var e rawEvent
+		e.w[0] = s.w[0].Load()
+		e.w[1] = s.w[1].Load()
+		e.w[2] = s.w[2].Load()
+		e.w[3] = s.w[3].Load()
+		if s.seq.Load() != t+1 {
+			continue // overwritten under us: discard the torn read
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+type rawEvent struct {
+	w [4]uint64
+}

@@ -1,0 +1,128 @@
+//go:build ignore
+
+// Command checktrace validates a flight-recorder trace file (the Chrome
+// trace-event JSON written by hhload/hhbench/hhshoot -trace or streamed
+// from hhserved's /debug/trace): the file must parse, contain only the
+// event phases the exporter emits (X complete spans, i instants, M
+// metadata), every span must carry a non-negative duration (the balanced
+// begin/end guarantee — the exporter never writes a dangling half of a
+// pair), and timestamps must be non-decreasing in file order. CI runs it
+// against the traces the e2e and bench-smoke jobs record:
+//
+//	go run ./scripts/checktrace.go -min-events 100 -min-zone-overlap 2 out.json
+//
+// -min-events fails the check unless the trace holds at least N non-
+// metadata events; -min-zone-overlap fails it unless at least N
+// zone-collect spans were in flight at one instant somewhere in the trace
+// (the paper's concurrent-zone property, checked on the wire artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many non-metadata events")
+	minZoneOverlap := flag.Int("min-zone-overlap", 0,
+		"fail unless this many zone-collect spans were in flight at one instant (0 = off)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace [-min-events N] [-min-zone-overlap N] TRACE.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fatal(fmt.Errorf("%s: not trace-event JSON: %w", path, err))
+	}
+
+	events := 0
+	spans := 0
+	lastTs := -1.0
+	var zoneEdges []edge
+	for i, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue // metadata carries no timestamp ordering guarantee
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				fatal(fmt.Errorf("%s: event %d (%s): X span without non-negative dur (unbalanced pair)",
+					path, i, e.Name))
+			}
+			spans++
+			if e.Name == "zone-collect" {
+				zoneEdges = append(zoneEdges, edge{e.Ts, +1}, edge{e.Ts + *e.Dur, -1})
+			}
+		case "i":
+			// instants are complete by construction
+		default:
+			fatal(fmt.Errorf("%s: event %d (%s): unexpected phase %q", path, i, e.Name, e.Ph))
+		}
+		if e.Ts < lastTs {
+			fatal(fmt.Errorf("%s: event %d (%s): timestamp %f before predecessor %f",
+				path, i, e.Name, e.Ts, lastTs))
+		}
+		lastTs = e.Ts
+		events++
+	}
+	if events < *minEvents {
+		fatal(fmt.Errorf("%s: only %d events, want >= %d", path, events, *minEvents))
+	}
+
+	// Sweep the zone-collect begin/end edges for the peak number of
+	// simultaneously open spans. Ends sort before begins at equal times, so
+	// back-to-back spans do not count as overlapping.
+	peak, open := 0, 0
+	sort.Slice(zoneEdges, func(i, j int) bool {
+		if zoneEdges[i].ts != zoneEdges[j].ts {
+			return zoneEdges[i].ts < zoneEdges[j].ts
+		}
+		return zoneEdges[i].d < zoneEdges[j].d
+	})
+	for _, ed := range zoneEdges {
+		open += ed.d
+		if open > peak {
+			peak = open
+		}
+	}
+	if *minZoneOverlap > 0 && peak < *minZoneOverlap {
+		fatal(fmt.Errorf("%s: peak concurrent zone-collect spans %d, want >= %d",
+			path, peak, *minZoneOverlap))
+	}
+
+	fmt.Printf("checktrace ok: %s: %d events (%d spans), peak concurrent zone collections %d\n",
+		path, events, spans, peak)
+}
+
+type edge struct {
+	ts float64
+	d  int
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checktrace:", err)
+	os.Exit(1)
+}
