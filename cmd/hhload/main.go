@@ -7,6 +7,7 @@
 //	hhload -mode all -procs 4 -sessions 8 -requests 96
 //	hhload -mode parmem -mix fan=1 -promote-buffer 1   # batching ablation
 //	hhload -mode all -nofastpath                       # barrier ablation
+//	hhload -mode all -deferred                         # lazy-promotion barrier
 //	hhload -mode all -procs-sweep 2,8 -mix kv=2,bfs=1,hist=1,fan=1
 //	                                                   # high-P cross-validation
 //
@@ -51,6 +52,8 @@ func main() {
 	noPool := flag.Bool("nopool", false, "disable the chunk pool / worker caches (recycling ablation)")
 	noFast := flag.Bool("nofastpath", false,
 		"force every pointer write through the master-copy lookup (barrier fast-path ablation)")
+	deferred := flag.Bool("deferred", false,
+		"pin-and-remember instead of eager promotion (parmem only; the checksum must match the eager modes)")
 	promoteBuf := flag.Int("promote-buffer", 0,
 		"staged pointees per promotion lock climb (0 = default 32, 1 = no batching)")
 	procsSweep := flag.String("procs-sweep", "",
@@ -120,7 +123,7 @@ func main() {
 		}
 		for _, mode := range modes {
 			sum, ok := driveMode(mode, p, *sessions, *requests, *size, mix, *budget,
-				*gcMin, *gcRatio, *minZoneSessions, *noPool, *noFast, *promoteBuf)
+				*gcMin, *gcRatio, *minZoneSessions, *noPool, *noFast, *deferred, *promoteBuf)
 			if !ok {
 				failed = true
 			}
@@ -159,7 +162,7 @@ func main() {
 // order-independent checksum of the whole request stream.
 func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 	budget, gcMin int64, gcRatio float64, minZoneSessions int64,
-	noPool, noFast bool, promoteBuf int) (uint64, bool) {
+	noPool, noFast, deferred bool, promoteBuf int) (uint64, bool) {
 
 	opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(gcMin, gcRatio)}
 	if noPool {
@@ -167,6 +170,9 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 	}
 	if noFast {
 		opts = append(opts, hh.WithoutBarrierFastPath())
+	}
+	if deferred {
+		opts = append(opts, hh.WithDeferredPromotion()) // ignored outside ParMem
 	}
 	if promoteBuf != 0 {
 		opts = append(opts, hh.WithPromoteBufferObjects(promoteBuf))
@@ -221,6 +227,18 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 			100*float64(ops.WritePtrNonProm)/float64(pw),
 			100*float64(ops.WritePtrProm)/float64(pw),
 			ops.PromotedBytes()>>10, ops.PromoteClimbs, wPerClimb, ops.MeanClimbDepth())
+	}
+	if d := rt.Deferred; d.Pins > 0 {
+		died := d.DrainDied + d.JoinElided + d.ReleaseDrop + d.GCResolved
+		fmt.Printf("    deferred: %d pins (%d refreshed, %d second-touch); %d died uncopied (%.0f%%), %d drain-promoted, %d live\n",
+			d.Pins, d.Refreshed, d.SecondTouch, died, 100*float64(died)/float64(d.Pins),
+			d.DrainPromoted, d.Live)
+		// Every pin must be resolved exactly once by the time the loop drains;
+		// a live entry here would pin a chunk of a completed session.
+		if !d.Balanced() || d.Live != 0 {
+			fmt.Fprintf(os.Stderr, "%s: pin accounting does not balance after drain: %+v\n", mode, d)
+			ok = false
+		}
 	}
 
 	if res.Failures > 0 {

@@ -151,6 +151,33 @@ func WithoutBarrierFastPath() Option {
 // Deprecated: use WithoutBarrierFastPath.
 func WithoutWritePtrFastPath() Option { return WithoutBarrierFastPath() }
 
+// WithDeferredPromotion switches the ParMem write barrier from the
+// paper's eager transitive promotion to lazy pin-and-remember: an
+// ancestor→descendant pointer write stores the down-pointer as-is and
+// records a remembered-set entry on the pointee's heap instead of copying
+// its subtree. The pointee is promoted only on a second cross-heap touch,
+// or when its subtree's release finds the down-pointer slot surviving;
+// zone collections evacuate pinned objects within their own heap and
+// re-pin, so objects that die in their leaf heap are reclaimed wholesale
+// without ever being copied. Stats().Ops
+// gains WritePtrPinned and the Deferred* outcome counters, and
+// Stats().Deferred summarizes the pin lifecycle (see TUNING.md for a
+// promote-table reading guide). Ignored outside ParMem mode.
+func WithDeferredPromotion() Option {
+	return func(c *rts.Config) { c.DeferredPromotion = true }
+}
+
+// WithInvariantChecks runs the remembered-set invariant walker
+// (heap.CheckInvariants) after every zone collection and at session
+// reclaim, panicking on the first violation: every remembered entry's
+// pinned chunk must still be registered and owned by the remembering
+// heap, every slot must live in a strict-ancestor heap, and the pin index
+// must balance the entry list. A debug knob for tests — the walk is
+// O(remembered entries) per collection.
+func WithInvariantChecks() Option {
+	return func(c *rts.Config) { c.CheckInvariants = true }
+}
+
 // WithPromoteBufferObjects caps how many staged pointees one promotion
 // lock climb may serve in a batched pointer write (Task.WritePtrs): the
 // capacity of each task's promote buffer. 0 selects the default (32);

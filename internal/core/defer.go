@@ -1,0 +1,185 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/mem"
+)
+
+// Deferred promotion: the lazy alternative to the paper's eager write
+// barrier. WritePtr copies the pointee's whole subtree upward before an
+// ancestor→descendant pointer write commits; WritePtrDeferred instead
+// stores the down-pointer as-is, PINS the pointee in its leaf heap via a
+// remembered-set entry (heap.RememberOrTouch), and lets one of three
+// later events resolve the pin:
+//
+//   - a SECOND cross-heap touch of the same pointee through a DISTINCT
+//     slot promotes it eagerly — an object shared twice is escaping, and
+//     promoting it now bounds the remembered set. Re-writing the pointee
+//     into the slot that already pins it is NOT a second touch: it
+//     establishes no new sharing (an in-place list reversal writing the
+//     head back is the archetype), so the pin is merely refreshed;
+//   - a join migrates or elides the entries (heap.Join): merging the heap
+//     upward dissolves entanglement for free;
+//   - a wholesale release of the owning subtree drops the entries
+//     (DrainForRelease + heap.ReleaseWholesale): the pinned objects died
+//     young and were never copied at all — the deferral's payoff.
+//
+// A zone collection of the owning heap does NOT resolve pins: the
+// collector's remembered pass (gc.Collector.drainRemembered) treats the
+// entries as extra roots, evacuates surviving pointees within the zone,
+// repairs their slots, and re-pins, so a pinned object rides out any
+// number of collections in its leaf heap without ever being copied
+// upward. DrainRemembered below is the explicit promoting drain for
+// callers that want a heap's pins resolved NOW (tests, the differential
+// fuzzer's runtime-shaped schedules).
+//
+// Deferred down-pointers make the hierarchy transiently ENTANGLED: an
+// ancestor slot holds a pointer into a descendant heap. That is safe
+// under the paper's determinacy-race-free program assumption — between
+// the write and the next drain point, only the writing task and its
+// descendants dereference the slot, and every drain point (leaf/join
+// zone collection, session reclaim) happens-before any other task could
+// legitimately observe the slot — but it is a deliberate divergence from
+// the paper's always-disentangled invariant; DESIGN.md §9 spells out the
+// lifecycle and the safety argument.
+
+// WritePtrDeferred writes a mutable pointer field with promotion
+// deferred. The fast paths are identical to WritePtr (local store;
+// optimistic ancestor-pointee store); only the would-promote tail
+// differs: pin-and-remember on first touch, promote on second.
+func WritePtrDeferred(cc *mem.ChunkCache, cur *heap.Heap, buf *PromoteBuf, ops *Counters, obj mem.ObjPtr, field int, ptr mem.ObjPtr) {
+	ho := heap.Of(obj)
+	if ho == cur && !mem.HasFwd(obj) {
+		ops.WritePtrFast++
+		mem.StorePtrFieldAtomic(obj, field, ptr)
+		return
+	}
+	if ptr.IsNil() || ho.Depth() >= heap.Of(ptr).Depth() {
+		mem.StorePtrFieldAtomic(obj, field, ptr)
+		if !mem.HasFwd(obj) {
+			ops.WritePtrAncestor++
+			return
+		}
+		// Promoted before or during the store; redo on the master below.
+	}
+	m, h := FindMaster(ops, obj)
+	p := chaseFwd(ptr)
+	if p.IsNil() || h.Depth() >= heap.Of(p).Depth() {
+		ops.WritePtrNonProm++
+		mem.StorePtrFieldAtomic(m, field, p)
+		h.Unlock()
+		return
+	}
+	// Down-pointer: pin instead of promote. Store FIRST, register second —
+	// a drain that finds the entry must also find the pointer in the slot
+	// (registering first would let a drain repair the slot and then have
+	// this not-yet-issued store re-insert the deep pointer). Both happen
+	// under the slot heap's read lock, which also keeps m from being
+	// promoted in between; the remembered set's own mutex is leaf-level
+	// (heap lock → remset mutex, never the reverse).
+	src := heap.Of(p)
+	mem.StorePtrFieldAtomic(m, field, p)
+	touch := src.RememberOrTouch(m, field, p)
+	h.Unlock()
+	switch touch {
+	case heap.TouchPinned:
+		ops.WritePtrPinned++
+		return
+	case heap.TouchRefreshed:
+		// Same slot, same pointee: the existing entry already describes
+		// this down-pointer exactly, so nothing new is shared and nothing
+		// is copied. Physically this write was a master-lookup store.
+		ops.WritePtrNonProm++
+		ops.DeferredRefresh++
+		return
+	}
+	// Second cross-heap touch: the pointee is already pinned through a
+	// DIFFERENT slot, so it is genuinely shared — promote it eagerly,
+	// exactly the eager barrier's climb. The earlier entry stays in the
+	// remembered set; the next drain finds its slot's pointer forwarded
+	// and repairs the slot without copying.
+	ops.WritePtrProm++
+	ops.Promotions++
+	ops.DeferredSecondTouch++
+	writePromote(cc, buf, ops, m, field, p)
+}
+
+// chaseFwd follows p's (permanent) forwarding chain to the master copy.
+func chaseFwd(p mem.ObjPtr) mem.ObjPtr {
+	if p.IsNil() {
+		return p
+	}
+	for {
+		f := mem.LoadFwd(p)
+		if f.IsNil() {
+			return p
+		}
+		p = f
+	}
+}
+
+// DrainRemembered empties h's remembered set, promoting every entry whose
+// slot still holds the pinned pointer and discarding the rest (the slot
+// moved on, so the pinned object died in place or is covered by a newer
+// entry). The caller must be at a safe point where h is quiescent for
+// structural changes. The runtime itself never calls this — zone
+// collections re-pin instead (gc.Collector.drainRemembered) — but the
+// differential fuzzer's runtime-shaped schedules and any embedder that
+// wants a heap's pins resolved eagerly do.
+func DrainRemembered(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, h *heap.Heap) {
+	for _, e := range h.TakeRemembered() {
+		drainEntry(cc, buf, ops, e)
+	}
+}
+
+// DrainForRelease sweeps the remembered sets of a dying session subtree
+// immediately before its wholesale release. Entries whose slot lives
+// INSIDE the subtree (slot heap depth >= baseDepth) die with it — neither
+// slot nor pointee survives, and counting them died is the deferral's
+// win. Entries whose slot lives outside — a surviving ancestor holds the
+// down-pointer — must promote their pointees out NOW, before any chunk of
+// the subtree is recycled; that is why the sweep covers EVERY heap of the
+// subtree before the first ReleaseWholesale call (a slot could otherwise
+// be repaired into an already-released sibling heap).
+func DrainForRelease(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, baseDepth int32, heaps []*heap.Heap) {
+	for _, h := range heaps {
+		for _, e := range h.TakeRemembered() {
+			if slotHeapDepth(e.Slot) >= baseDepth {
+				ops.DeferredDrainDied++
+				continue
+			}
+			drainEntry(cc, buf, ops, e)
+		}
+	}
+}
+
+// slotHeapDepth resolves the live depth of a remembered slot's heap,
+// chasing the slot's forwarding chain first (the slot object itself may
+// have been promoted since the entry was recorded).
+func slotHeapDepth(slot mem.ObjPtr) int32 {
+	return heap.Of(chaseFwd(slot)).Depth()
+}
+
+// drainEntry resolves one remembered entry at a drain point: skip if the
+// slot was overwritten; repair the slot if the pointee was already
+// promoted past it; otherwise promote the pointee into the slot's heap.
+func drainEntry(cc *mem.ChunkCache, buf *PromoteBuf, ops *Counters, e heap.RemEntry) {
+	slot := chaseFwd(e.Slot)
+	if mem.LoadPtrFieldAtomic(slot, e.Field) != e.Ptr {
+		// The down-pointer was overwritten since the pin: nothing to copy.
+		// (A newer pointee in the slot has its own entry.)
+		ops.DeferredDrainDied++
+		return
+	}
+	p := chaseFwd(e.Ptr)
+	if heap.Of(slot).Depth() >= heap.Of(p).Depth() {
+		// Already promoted past the slot (a second touch through another
+		// slot, or an earlier drain): just repair the stale slot.
+		mem.StorePtrFieldAtomic(slot, e.Field, p)
+		ops.DeferredDrainPromoted++
+		return
+	}
+	ops.Promotions++
+	ops.DeferredDrainPromoted++
+	writePromote(cc, buf, ops, slot, e.Field, p)
+}

@@ -29,6 +29,11 @@ type Heap struct {
 	// first attach; nil for every heap that never had a child attached.
 	childReg atomic.Pointer[childRegistry]
 
+	// Remembered set for deferred promotion (remset.go): down-pointers into
+	// this heap whose pointees are pinned in place instead of eagerly
+	// promoted. Lazily installed; nil for every heap that never pinned.
+	rem atomic.Pointer[remSet]
+
 	head      *mem.Chunk // oldest chunk
 	tail      *mem.Chunk // newest chunk; allocation target
 	nChunks   int
@@ -136,6 +141,10 @@ func Join(parent, child *Heap) {
 	parent.AllocSinceGC += child.AllocSinceGC
 	parent.LiveWords += child.LiveWords
 	child.head, child.tail, child.nChunks = nil, nil, 0
+	// Deferred-promotion entries pinned in the child follow its objects to
+	// the parent; those whose slot is no longer strictly shallower are
+	// elided — the join dissolved the entanglement (remset.go).
+	migrateRemembered(parent, child)
 	child.merged.Store(parent)
 }
 

@@ -1,0 +1,103 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Remembered-set invariant checker. Deferred promotion moves a
+// memory-safety-critical invariant — no heap may be reclaimed while a
+// remembered pointee is live — out of the eager barrier's control flow and
+// into lazily maintained state, so the state gets a walker that proves it
+// on demand: from tests, after every zone collection when the runtime's
+// CheckInvariants knob is set, and from the differential fuzzer after
+// every step.
+//
+// CheckInvariants must be called at a point where the checked heaps are
+// quiescent for structural changes (no concurrent Join or release of
+// these heaps); concurrent registration on OTHER heaps is fine, since
+// each set is inspected under its own mutex.
+
+// CheckInvariants verifies the remembered-set invariants of every given
+// heap (duplicates and merged-away aliases are ignored):
+//
+//   - a merged-away heap retains no entries (Join migrated or elided them);
+//   - the pin index and the entry list agree (pin counts balance, no
+//     double-pin of one pointee);
+//   - every pinned pointee sits in a chunk that is still REGISTERED and
+//     still owned by the remembering heap — a pinned chunk on a pool free
+//     list, or recycled into another heap, is the reclaimed-while-pinned
+//     bug this checker exists to catch;
+//   - every entry's slot sits in a registered chunk of a live heap that is
+//     a STRICT ancestor of the remembering heap, i.e. the entry still
+//     describes a down-pointer into a live, attached descendant.
+//
+// It returns the first violation found, nil if all invariants hold.
+func CheckInvariants(heaps ...*Heap) error {
+	seen := make(map[*Heap]struct{}, len(heaps))
+	for _, h := range heaps {
+		if h == nil {
+			continue
+		}
+		h = h.Resolve()
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
+		if err := h.checkRemInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRemInvariants walks one heap's remembered set under its mutex.
+func (h *Heap) checkRemInvariants() error {
+	rs := h.rem.Load()
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.entries) == 0 {
+		if len(rs.byPtr) != 0 {
+			return fmt.Errorf("heap: %v: empty remembered set indexes %d pointees", h, len(rs.byPtr))
+		}
+		return nil
+	}
+	if !h.IsAlive() {
+		return fmt.Errorf("heap: merged-away %v retains %d remembered entries (Join failed to migrate)",
+			h, len(rs.entries))
+	}
+	if len(rs.byPtr) != len(rs.entries) {
+		return fmt.Errorf("heap: %v: pin counts do not balance: %d indexed pointees for %d entries",
+			h, len(rs.byPtr), len(rs.entries))
+	}
+	for _, e := range rs.entries {
+		if _, ok := rs.byPtr[e.Ptr]; !ok {
+			return fmt.Errorf("heap: %v: entry %v not in the pin index", h, e.Ptr)
+		}
+		id := e.Ptr.ChunkID()
+		if mem.LookupChunk(id) == nil {
+			return fmt.Errorf("heap: %v: pinned object %v sits in unregistered chunk %d (freed or on a pool free list while pinned)",
+				h, e.Ptr, id)
+		}
+		owner := OwnerOfChunk(id)
+		if owner == nil || owner.Resolve() != h {
+			return fmt.Errorf("heap: %v: pinned object %v's chunk %d is owned by %v, not the remembering heap",
+				h, e.Ptr, id, owner)
+		}
+		sid := e.Slot.ChunkID()
+		if mem.LookupChunk(sid) == nil {
+			return fmt.Errorf("heap: %v: remembered slot %v sits in unregistered chunk %d",
+				h, e.Slot, sid)
+		}
+		sh := slotHeapOf(e.Slot)
+		if sh == h || !sh.IsAncestorOf(h) {
+			return fmt.Errorf("heap: %v: remembered slot %v lives in %v (depth %d), not a strict ancestor",
+				h, e.Slot, sh, sh.Depth())
+		}
+	}
+	return nil
+}

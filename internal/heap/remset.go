@@ -1,0 +1,302 @@
+package heap
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// Per-heap remembered sets for DEFERRED promotion. The paper's write
+// barrier promotes eagerly: an ancestor→descendant pointer write copies
+// the pointee's whole subtree upward before the write commits. The
+// deferred mode instead PINS the pointee in place and records the
+// down-pointer here, on the pointee's owning heap; the pin is resolved
+// later, by whichever of these happens first:
+//
+//   - a second cross-heap touch of the same pointee through a DISTINCT
+//     slot promotes it eagerly (core.WritePtrDeferred), leaving the entry
+//     for slot repair — re-writing the pointee into the slot that already
+//     pins it merely refreshes the pin, since it establishes no new
+//     sharing;
+//   - a join migrates the entries to the surviving heap, eliding those
+//     whose entanglement evaporated with the depth change (Join below);
+//   - a wholesale release of the subtree drops them — the pinned objects
+//     died with their heap and were never copied at all, which is the
+//     whole point (core.DrainForRelease first promotes out any entry
+//     whose slot survives the release);
+//   - an explicit promoting drain (core.DrainRemembered) for callers
+//     that want a heap's pins resolved eagerly.
+//
+// A zone collection of the owning heap resolves only the entries whose
+// slot moved on or died: the collector's remembered pass treats the rest
+// as extra roots, evacuates their pointees within the zone, and RE-PINS
+// (gc.Collector.drainRemembered) — a pinned object is never promoted just
+// because its heap collected.
+//
+// Lock order: a remembered set's mutex is LEAF-LEVEL. It is acquired
+// while holding at most heap locks (heapLock → remMu, never the reverse)
+// and never while holding another remembered set's mutex, so it composes
+// with the deepest-first heap lock order without extending it.
+
+// RemEntry records one deferred down-pointer: heap slot (Slot, Field)
+// holds Ptr, whose object is pinned in the remembering heap.
+type RemEntry struct {
+	Slot  mem.ObjPtr // object containing the down-pointer field (ancestor heap)
+	Field int        // pointer field index within Slot
+	Ptr   mem.ObjPtr // the pinned pointee, owned by the remembering heap
+}
+
+// remSet is one heap's remembered set. byPtr indexes the pinned pointees
+// by the slot that pinned them, so the second-touch check — is this write
+// a DISTINCT slot from the one already holding the pin? — is O(1).
+type remSet struct {
+	mu      sync.Mutex
+	entries []RemEntry
+	byPtr   map[mem.ObjPtr]remSlot
+}
+
+// remSlot identifies the down-pointer slot recorded for a pinned pointee.
+type remSlot struct {
+	slot  mem.ObjPtr
+	field int
+}
+
+// Package-global deferred-promotion accounting. These live here rather
+// than in a Counters struct because Join and ReleaseWholesale run without
+// any task context; the runtime snapshots them at startup and reports the
+// diff (the same pattern as the mem allocation counters).
+var (
+	remLive           atomic.Int64 // entries currently registered across all heaps
+	remJoinMigrated   atomic.Int64 // entries moved to the surviving heap by Join
+	remJoinElided     atomic.Int64 // entries dropped by Join: the depth change ended the entanglement
+	remReleaseDropped atomic.Int64 // entries dropped by ReleaseWholesale: pinned objects died wholesale
+	remGCResolved     atomic.Int64 // entries resolved by gc's extra-roots pass (slot fixed or stale)
+)
+
+// RemSnapshot is a point-in-time copy of the package's remembered-set
+// counters; subtract two snapshots to get a runtime's own activity.
+type RemSnapshot struct {
+	Live           int64
+	JoinMigrated   int64
+	JoinElided     int64
+	ReleaseDropped int64
+	GCResolved     int64
+}
+
+// RemCounters snapshots the global remembered-set counters.
+func RemCounters() RemSnapshot {
+	return RemSnapshot{
+		Live:           remLive.Load(),
+		JoinMigrated:   remJoinMigrated.Load(),
+		JoinElided:     remJoinElided.Load(),
+		ReleaseDropped: remReleaseDropped.Load(),
+		GCResolved:     remGCResolved.Load(),
+	}
+}
+
+// rem returns the heap's remembered set, installing one on first use
+// (same CAS convergence as the child registry).
+func (h *Heap) remSet() *remSet {
+	if r := h.rem.Load(); r != nil {
+		return r
+	}
+	fresh := &remSet{}
+	if h.rem.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return h.rem.Load()
+}
+
+// Touch is RememberOrTouch's verdict on a deferred down-pointer write.
+type Touch int
+
+const (
+	// TouchPinned: first touch — an entry was registered; the caller
+	// leaves the pointee in place.
+	TouchPinned Touch = iota
+	// TouchRefreshed: the write re-established the SAME slot that already
+	// pins the pointee (e.g. an in-place list reversal writing the head
+	// back). No new sharing, no new entry; the existing entry already
+	// describes the slot exactly.
+	TouchRefreshed
+	// TouchSecond: the pointee is already pinned through a DISTINCT slot —
+	// it is genuinely shared, and the caller promotes it eagerly.
+	TouchSecond
+)
+
+// RememberOrTouch is the deferred write barrier's pin-or-promote decision
+// for a down-pointer (slot, field) → ptr whose pointee lives in h: if ptr
+// is not yet pinned here, register the entry (TouchPinned); if it is
+// pinned by this very slot, refresh (TouchRefreshed); if it is pinned by
+// a different slot — a second cross-heap touch — report TouchSecond
+// without registering, and the caller promotes eagerly. The existing
+// entry is left in place in the touch cases: its slot still physically
+// holds the deep pointer and will be repaired by the next drain.
+func (h *Heap) RememberOrTouch(slot mem.ObjPtr, field int, ptr mem.ObjPtr) Touch {
+	rs := h.Resolve().remSet()
+	rs.mu.Lock()
+	if prev, dup := rs.byPtr[ptr]; dup {
+		rs.mu.Unlock()
+		// The recorded slot object may have been promoted since the pin;
+		// compare through the forwarding chains.
+		if prev.field == field && chaseSlot(prev.slot) == chaseSlot(slot) {
+			return TouchRefreshed
+		}
+		return TouchSecond
+	}
+	if rs.byPtr == nil {
+		rs.byPtr = make(map[mem.ObjPtr]remSlot)
+	}
+	rs.byPtr[ptr] = remSlot{slot: slot, field: field}
+	rs.entries = append(rs.entries, RemEntry{Slot: slot, Field: field, Ptr: ptr})
+	rs.mu.Unlock()
+	remLive.Add(1)
+	return TouchPinned
+}
+
+// TakeRemembered detaches and returns the heap's remembered entries,
+// leaving the set empty. Drains (zone collection, wholesale release) take
+// the whole set and account for each entry's outcome themselves.
+func (h *Heap) TakeRemembered() []RemEntry {
+	h = h.Resolve()
+	rs := h.rem.Load()
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	entries := rs.entries
+	rs.entries = nil
+	rs.byPtr = nil
+	rs.mu.Unlock()
+	remLive.Add(-int64(len(entries)))
+	return entries
+}
+
+// ReinstallRemembered puts entries (typically updated in place by gc's
+// extra-roots pass) back into h's remembered set. The entries were taken
+// from this heap, so reinstalling them is not a new pin.
+func (h *Heap) ReinstallRemembered(entries []RemEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	rs := h.Resolve().remSet()
+	rs.mu.Lock()
+	if rs.byPtr == nil {
+		rs.byPtr = make(map[mem.ObjPtr]remSlot, len(entries))
+	}
+	for _, e := range entries {
+		rs.byPtr[e.Ptr] = remSlot{slot: e.Slot, field: e.Field}
+		rs.entries = append(rs.entries, e)
+	}
+	rs.mu.Unlock()
+	remLive.Add(int64(len(entries)))
+}
+
+// RemEntries returns a copy of the heap's current remembered entries, for
+// the invariant checker and tests.
+func (h *Heap) RemEntries() []RemEntry {
+	rs := h.Resolve().rem.Load()
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	out := append([]RemEntry(nil), rs.entries...)
+	rs.mu.Unlock()
+	return out
+}
+
+// RemCount reports how many entries the heap's remembered set holds.
+func (h *Heap) RemCount() int {
+	rs := h.Resolve().rem.Load()
+	if rs == nil {
+		return 0
+	}
+	rs.mu.Lock()
+	n := len(rs.entries)
+	rs.mu.Unlock()
+	return n
+}
+
+// NoteRemGCResolved counts entries gc's extra-roots pass consumed (slot
+// repaired to an already-promoted master, or slot overwritten and the
+// entry dropped as stale).
+func NoteRemGCResolved(n int64) { remGCResolved.Add(n) }
+
+// migrateRemembered moves the dying child's remembered entries to the
+// surviving parent at Join. An entry whose slot heap is no longer
+// STRICTLY shallower than the pointee's new (parent) depth is elided: the
+// join dissolved the entanglement, so the pin resolves for free — neither
+// copied nor leaked, the deferred barrier's best case. The child's task
+// has completed (Join's contract), so no new entries race in on the child
+// side; the parent's set still takes its mutex against the parent's other
+// live descendants.
+func migrateRemembered(parent, child *Heap) {
+	crs := child.rem.Load()
+	if crs == nil {
+		return
+	}
+	crs.mu.Lock()
+	entries := crs.entries
+	crs.entries = nil
+	crs.byPtr = nil
+	crs.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	keep := entries[:0]
+	for _, e := range entries {
+		if slotHeapOf(e.Slot).Depth() >= parent.depth {
+			remJoinElided.Add(1)
+			remLive.Add(-1)
+			continue
+		}
+		keep = append(keep, e)
+	}
+	if len(keep) == 0 {
+		return
+	}
+	prs := parent.remSet()
+	prs.mu.Lock()
+	if prs.byPtr == nil {
+		prs.byPtr = make(map[mem.ObjPtr]remSlot, len(keep))
+	}
+	for _, e := range keep {
+		prs.byPtr[e.Ptr] = remSlot{slot: e.Slot, field: e.Field}
+		prs.entries = append(prs.entries, e)
+	}
+	prs.mu.Unlock()
+	remJoinMigrated.Add(int64(len(keep)))
+}
+
+// slotHeapOf resolves the live heap of a remembered slot, following the
+// slot's (permanent) forwarding chain first: the slot object may have
+// been promoted since the entry was recorded.
+func slotHeapOf(slot mem.ObjPtr) *Heap {
+	return Of(chaseSlot(slot))
+}
+
+// chaseSlot follows a slot object's (permanent) forwarding chain to its
+// master copy.
+func chaseSlot(slot mem.ObjPtr) mem.ObjPtr {
+	for {
+		f := mem.LoadFwd(slot)
+		if f.IsNil() {
+			return slot
+		}
+		slot = f
+	}
+}
+
+// dropRememberedOnRelease discards the heap's remaining entries at
+// wholesale release: the pinned objects die with their subtree, never
+// having been copied. On the runtime's session path the set is already
+// empty — core.DrainForRelease swept it, promoting out every entry whose
+// slot survives the release — so entries reaching here belong to the
+// shutdown backstop (abandoned sessions) and direct-release tests.
+func dropRememberedOnRelease(h *Heap) {
+	n := len(h.TakeRemembered())
+	if n > 0 {
+		remReleaseDropped.Add(int64(n))
+	}
+}

@@ -13,22 +13,31 @@ import (
 
 // PromoteTable benchmarks the write barrier under serving load: the
 // kv-churn serve mix (kv=2,bfs=1,hist=1 plus the batched fan publish)
-// drives the closed loop twice per runtime system — once with the barrier
-// fast paths and the promote buffer enabled (the default) and once with
-// every pointer write forced through the master-copy lookup under the heap
-// read lock (hh.WithoutBarrierFastPath, the paper-faithful baseline). For
-// each run it reports the barrier mix of Figure 9's write classes, the
-// promotion volume, and the lock-climb amortization the promote buffer
-// provides.
+// drives the closed loop through the barrier variants of each runtime
+// system — the default eager barrier with the fast paths and promote
+// buffer enabled ("on"), every pointer write forced through the
+// master-copy lookup under the heap read lock (hh.WithoutBarrierFastPath,
+// "off" — the paper-faithful eager baseline), and, for mlton-parmem,
+// deferred promotion (hh.WithDeferredPromotion, "deferred"). For each run
+// it reports the barrier mix of Figure 9's write classes, the promotion
+// volume, the pin outcomes, and the lock-climb amortization the promote
+// buffer provides.
 //
 // Reading it: "fast%" (local) + "anc%" (ancestor-pointee) is the share of
 // pointer writes that never touched a heap lock; with the fast paths off
 // both columns read 0 and every write lands in "find%" or "prom%". The
 // promoting share is a property of the workload, so "prom%" and
-// "promB/req" should match between the on and off rows — what changes is
-// req/s. "w/climb" is promoting writes per lock climb (above 1.0 means the
-// promote buffer shared climbs across a batch) and "lockdepth" the mean
-// number of heaps write-locked per climb.
+// "promB/req" should match between the eager rows — what changes is
+// req/s. The deferred row moves most of "prom%" into "pin%" (writes that
+// recorded a remembered-set entry instead of copying) and shrinks
+// "promB/req": only second touches and drain survivors are ever copied.
+// "die%" is the share of pins resolved WITHOUT an upward copy — the entry
+// died at a drain, elided at a join, dropped with a wholesale release, or
+// was consumed by the collector's stale-slot pass; it is the deferral's
+// win rate, and "-" on eager rows. "w/climb" is promoting
+// writes per lock climb (above 1.0 means the promote buffer shared climbs
+// across a batch) and "lockdepth" the mean number of heaps write-locked
+// per climb.
 func PromoteTable(w io.Writer, o Options) error {
 	o = o.normalize()
 	mix, err := load.ParseMix("kv=2,bfs=1,hist=1,fan=1")
@@ -47,21 +56,30 @@ func PromoteTable(w io.Writer, o Options) error {
 		runtime.GOMAXPROCS(o.Procs) // let in-flight sessions overlap in wall time
 	}
 
-	header := []string{"system", "fastpath", "req/s", "ptr-writes", "fast%", "anc%",
-		"find%", "prom%", "promB/req", "climbs", "w/climb", "lockdepth"}
+	header := []string{"system", "barrier", "req/s", "ptr-writes", "fast%", "anc%",
+		"find%", "prom%", "pin%", "promB/req", "die%", "climbs", "w/climb", "lockdepth"}
+	type variant struct {
+		label string
+		opts  []hh.Option
+	}
+	variantsOf := func(mode hh.Mode) []variant {
+		v := []variant{
+			{"on", nil},
+			{"off", []hh.Option{hh.WithoutBarrierFastPath()}},
+		}
+		if mode == hh.ParMem {
+			v = append(v, variant{"deferred", []hh.Option{hh.WithDeferredPromotion()}})
+		}
+		return v
+	}
 	var rows [][]string
 	var failures []string
 	var refSum uint64
 	var refRow string
 	for _, mode := range []hh.Mode{hh.Seq, hh.STW, hh.Manticore, hh.ParMem} {
-		for _, fast := range []bool{true, false} {
-			opts := []hh.Option{hh.WithMode(mode), hh.WithProcs(o.Procs),
-				hh.WithGCPolicy(2048, 1.25)}
-			label := "on"
-			if !fast {
-				opts = append(opts, hh.WithoutBarrierFastPath())
-				label = "off"
-			}
+		for _, v := range variantsOf(mode) {
+			opts := append([]hh.Option{hh.WithMode(mode), hh.WithProcs(o.Procs),
+				hh.WithGCPolicy(2048, 1.25)}, v.opts...)
 			// Cold chunk pool per run, as in AllocTable: rows are comparable
 			// regardless of what ran before them.
 			mem.DrainChunkPool()
@@ -69,22 +87,29 @@ func PromoteTable(w io.Writer, o Options) error {
 			srv := serve.New(r, serve.WithMaxInFlight(sessions), serve.WithQueueDepth(2*sessions))
 			res := load.Drive(srv, mix, sessions, requests, size, nil)
 			st := srv.Stats()
-			ops := r.Stats().Ops
+			rt := r.Stats()
+			ops := rt.Ops
 			r.Close()
 
-			rowID := fmt.Sprintf("%s (fastpath %s)", mode, label)
+			rowID := fmt.Sprintf("%s (barrier %s)", mode, v.label)
 			if res.Failures > 0 {
 				failures = append(failures, fmt.Sprintf(
 					"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, rowID))
 			}
-			// The fast paths are an implementation detail: every row must
-			// compute the identical request stream.
+			// The barrier is an implementation detail: every row must compute
+			// the identical request stream, deferred included.
 			if refRow == "" {
 				refSum, refRow = res.Checksum, rowID
 			} else if res.Checksum != refSum {
 				failures = append(failures, fmt.Sprintf(
 					"VALIDATION FAILURE: request stream on %s: checksum %x, want %x (%s)",
 					rowID, res.Checksum, refSum, refRow))
+			}
+			if v.label == "deferred" {
+				if d := rt.Deferred; !d.Balanced() || d.Live != 0 {
+					failures = append(failures, fmt.Sprintf(
+						"VALIDATION FAILURE: pin accounting on %s: %+v", rowID, d))
+				}
 			}
 
 			total := ops.PtrWrites()
@@ -98,15 +123,24 @@ func PromoteTable(w io.Writer, o Options) error {
 			if ops.PromoteClimbs > 0 {
 				wPerClimb = fmt.Sprintf("%.2f", float64(ops.WritePtrProm)/float64(ops.PromoteClimbs))
 			}
+			diePct := "-"
+			if d := rt.Deferred; d.Pins > 0 {
+				// Every resolution that never copied the pointee upward: dead
+				// at a drain, elided at a join, dropped with a wholesale
+				// release, or consumed by the collector's stale-slot pass.
+				diePct = fmtPct(float64(d.DrainDied+d.JoinElided+d.ReleaseDrop+d.GCResolved) / float64(d.Pins))
+			}
 			rows = append(rows, []string{
-				mode.String(), label,
+				mode.String(), v.label,
 				fmt.Sprintf("%.0f", st.Throughput),
 				fmt.Sprintf("%d", total),
 				pct(ops.WritePtrFast),
 				pct(ops.WritePtrAncestor),
 				pct(ops.WritePtrNonProm),
 				pct(ops.WritePtrProm),
+				pct(ops.WritePtrPinned),
 				fmtPerReq(ops.PromotedBytes(), st.Finished()),
+				diePct,
 				fmt.Sprintf("%d", ops.PromoteClimbs),
 				wPerClimb,
 				fmt.Sprintf("%.2f", ops.MeanClimbDepth()),
@@ -115,7 +149,7 @@ func PromoteTable(w io.Writer, o Options) error {
 	}
 	tab := Table{Table: "promote", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
 		Title: fmt.Sprintf(
-			"Write barrier: fast-path mix and promotion cost under serving load at P=%d (%d in-flight, fast paths on vs off)",
+			"Write barrier: fast-path mix, promotion cost, and deferred pins under serving load at P=%d (%d in-flight)",
 			o.Procs, sessions)}
 	if err := o.emit(w, tab); err != nil {
 		return err

@@ -60,6 +60,12 @@ func ServeTable(w io.Writer, o Options) error {
 		// event rings recording every zone, climb, and session event. The
 		// req/s delta against the row above is the cost of enabled tracing.
 		{hh.ParMem.String() + "+trace", hh.ParMem, []hh.Option{hh.WithTrace(0)}},
+		// The lazy-promotion ablation: the same parmem run with the write
+		// barrier pinning entangling pointees instead of copying them
+		// (promotion happens at second touch or drain, or never). The
+		// checksum validation below proves the request stream identical;
+		// the promote table quantifies the copied-bytes reduction.
+		{hh.ParMem.String() + "+deferred", hh.ParMem, []hh.Option{hh.WithDeferredPromotion()}},
 	}
 	var rows [][]string
 	var failures []string

@@ -87,6 +87,23 @@ type Config struct {
 	// (hhbench -table promote reports both sides).
 	NoBarrierFastPath bool
 
+	// DeferredPromotion switches the ParMem write barrier from the paper's
+	// eager transitive promotion to lazy pin-and-remember
+	// (core.WritePtrDeferred): an ancestor→descendant pointer write records
+	// a remembered-set entry on the pointee's heap instead of copying its
+	// subtree; the pointee is promoted on a second cross-heap touch or at
+	// the next zone collection of its heap, and dies uncopied if its
+	// subtree is reclaimed wholesale first. Ignored outside ParMem mode
+	// (Seq never promotes; Manticore's promote-on-communication and STW's
+	// barrier-free writes are different designs).
+	DeferredPromotion bool
+
+	// CheckInvariants runs the remembered-set invariant walker
+	// (heap.CheckInvariants) after every zone collection and at session
+	// reclaim, panicking on the first violation. Debug knob for tests; the
+	// walk is O(remembered entries) per collection.
+	CheckInvariants bool
+
 	// PromoteBufferObjects caps how many staged pointees one promotion lock
 	// climb may serve in a batched pointer write (Task.WritePtrs). 0 means
 	// core.DefaultPromoteBufferObjects; 1 climbs per object (the batching

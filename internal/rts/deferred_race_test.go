@@ -1,0 +1,201 @@
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gc"
+	"repro/internal/mem"
+)
+
+// Race tests for deferred promotion: promote-on-second-touch racing
+// concurrent zone collections (whose drains climb the same locks), and
+// session abort with non-empty remembered sets (wholesale reclaim must
+// neither leak nor double-free pins). Run under -race by the CI race
+// matrix at GOMAXPROCS 2 and 16; the procs sweep here exercises the same
+// schedules at P=2 and P=8 on the runtime's own pool.
+
+// deferredConfig is an aggressive-GC deferred-promotion config with the
+// invariant walker armed after every zone collection.
+func deferredConfig(mode Mode, procs int) Config {
+	cfg := DefaultConfig(mode, procs)
+	cfg.Policy = gc.Policy{MinWords: 2048, Ratio: 1.25}
+	cfg.DeferredPromotion = true
+	cfg.CheckInvariants = true
+	return cfg
+}
+
+// buildEntangled is the deferred barrier's worst-case-and-best-case mix:
+// forked children publish session-local cells into a session-heap array
+// (a pin per publish), re-publish some cells into the same slot (a
+// refresh) and into a distinct slot (a second touch, promoting eagerly),
+// and churn enough to trigger leaf zone collections whose drains race the
+// promotions of sibling tasks in other sessions. The result is a
+// deterministic checksum read back through the published pointers, so
+// eager and deferred modes — and all four systems — must agree on it.
+func buildEntangled(task *Task, n int) uint64 {
+	const k = 8
+	// AllocMut: the array is mutated from concurrent forked tasks, which the
+	// Manticore (DLG) model only permits for global-heap objects. In ParMem
+	// it is an ordinary session-heap allocation, so the publishes below are
+	// ancestor→descendant writes — the deferred barrier's pin path.
+	arr := task.AllocMut(k, 0, mem.TagTuple)
+	mark := task.PushRoot(&arr)
+	for round := 0; round < 2; round++ {
+		fill := func(start int) func(*Task, mem.ObjPtr) uint64 {
+			return func(t *Task, _ mem.ObjPtr) uint64 {
+				for j := start; j < k; j += 2 {
+					cell := t.Alloc(1, 1, mem.TagCons)
+					t.WriteInitWord(cell, 0, uint64(round*k+j)*2654435761+1)
+					t.WriteInitPtr(cell, 0, mem.NilPtr)
+					t.WritePtr(arr, j, cell) // ancestor→descendant: pin (deferred) or promote (eager)
+					if j%4 == start%4 {
+						t.WritePtr(arr, j, cell)       // same slot again: refresh, nothing copied
+						t.WritePtr(arr, (j+2)%k, cell) // distinct slot: second touch, eager promotion
+					}
+				}
+				return buildChurn(t, n) // force leaf zone collections → drains
+			}
+		}
+		task.ForkJoinScalar(mem.NilPtr, fill(0), fill(1))
+	}
+	var sum uint64
+	for j := 0; j < k; j++ {
+		cell := task.ReadMutPtr(arr, j)
+		if !cell.IsNil() {
+			sum = sum*31 + task.ReadImmWord(cell, 0)
+		}
+	}
+	task.PopRoots(mark)
+	// Churn on the session heap afterwards so its own collections drain
+	// whatever the joins migrated up.
+	return sum*7 + buildChurn(task, n/2)
+}
+
+func TestDeferredParityAllModes(t *testing.T) {
+	const nSessions = 8
+	const n = 1200
+	for _, procs := range []int{2, 8} {
+		var want []uint64 // Seq-mode reference, filled on the first procs pass
+		for _, mode := range []Mode{Seq, ParMem, STW, Manticore} {
+			t.Run(fmt.Sprintf("%s/procs=%d", mode, procs), func(t *testing.T) {
+				r := New(deferredConfig(mode, procs))
+				defer r.Close()
+
+				sessions := make([]*Session, nSessions)
+				for i := range sessions {
+					sessions[i] = r.Submit(SessionOpts{}, func(task *Task) uint64 {
+						return buildEntangled(task, n)
+					})
+				}
+				got := make([]uint64, nSessions)
+				for i, s := range sessions {
+					res, err := s.Wait()
+					if err != nil {
+						t.Fatalf("session %d failed: %v", i, err)
+					}
+					got[i] = res
+				}
+				if want == nil {
+					want = got
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("session %d checksum %x, want %x (mode disagreement)", i, got[i], want[i])
+					}
+				}
+
+				st := r.Stats()
+				if mode == ParMem {
+					d := st.Deferred
+					if d.Pins == 0 {
+						t.Fatal("deferred ParMem run recorded no pins")
+					}
+					if d.SecondTouch == 0 {
+						t.Fatal("no second-touch promotions despite distinct-slot re-publishes")
+					}
+					if d.Refreshed == 0 {
+						t.Fatal("no refreshes despite same-slot re-publishes")
+					}
+					if d.Live != 0 {
+						t.Fatalf("live remembered entries after quiescence: %+v", d)
+					}
+					if !d.Balanced() {
+						t.Fatalf("pin accounting does not balance: %+v", d)
+					}
+				} else if st.Deferred.Pins != 0 {
+					t.Fatalf("%v mode recorded %d pins; deferral is ParMem-only", mode, st.Deferred.Pins)
+				}
+			})
+		}
+	}
+}
+
+func TestDeferredAbortReclaimsPinnedSets(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, procs := range []int{2, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			r := New(deferredConfig(ParMem, procs))
+			defer r.Close()
+			base := mem.ChunksInUse()
+
+			const nSessions = 8
+			sessions := make([]*Session, nSessions)
+			for i := range sessions {
+				sessions[i] = r.Submit(SessionOpts{}, func(task *Task) uint64 {
+					arr := task.Alloc(4, 0, mem.TagTuple)
+					mark := task.PushRoot(&arr)
+					defer task.PopRoots(mark)
+					task.ForkJoinScalar(mem.NilPtr,
+						func(t *Task, _ mem.ObjPtr) uint64 {
+							// Pin without ever draining, then die: the
+							// session unwinds with this heap's remembered
+							// set non-empty.
+							for j := 0; j < 4; j++ {
+								cell := t.Alloc(1, 1, mem.TagCons)
+								t.WriteInitWord(cell, 0, uint64(j))
+								t.WriteInitPtr(cell, 0, mem.NilPtr)
+								t.WritePtr(arr, j, cell)
+							}
+							panic(errBoom)
+						},
+						func(t *Task, _ mem.ObjPtr) uint64 {
+							// Churn so sibling zone collections (and their
+							// drains) race the abort's unwind.
+							return buildChurn(t, 3000)
+						})
+					return 0
+				})
+			}
+			for i, s := range sessions {
+				_, err := s.Wait()
+				var pe *PanicError
+				if !errors.As(err, &pe) || pe.Value != errBoom {
+					t.Fatalf("session %d: err = %v, want PanicError{%v}", i, err, errBoom)
+				}
+			}
+			// Wholesale reclaim of the aborted subtrees must return chunk
+			// occupancy to baseline: a leaked pin would keep a chunk
+			// registered, a double-free would corrupt the accounting (and
+			// trip the armed invariant checker before that).
+			if got := mem.ChunksInUse(); got != base {
+				t.Fatalf("chunks in use after aborts = %d, want baseline %d", got, base)
+			}
+			st := r.Stats()
+			d := st.Deferred
+			if d.Pins == 0 {
+				t.Fatal("aborting sessions recorded no pins")
+			}
+			if d.Live != 0 {
+				t.Fatalf("live remembered entries after aborts: %+v", d)
+			}
+			if !d.Balanced() {
+				t.Fatalf("pin accounting does not balance after aborts: %+v", d)
+			}
+			if st.Sessions.Failed != nSessions {
+				t.Fatalf("failed sessions = %d, want %d", st.Sessions.Failed, nSessions)
+			}
+		})
+	}
+}

@@ -135,6 +135,10 @@ func (t *Task) CASWord(p mem.ObjPtr, i int, old, new uint64) bool {
 func (t *Task) WritePtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
 	switch t.rt.cfg.Mode {
 	case ParMem:
+		if t.rt.cfg.DeferredPromotion {
+			core.WritePtrDeferred(t.chunkCache(), t.sh.Current(), &t.pbuf, &t.Ops, p, i, q)
+			return
+		}
 		if t.rt.cfg.NoBarrierFastPath {
 			core.WritePtrSlow(t.chunkCache(), &t.pbuf, &t.Ops, p, i, q)
 			return
@@ -164,6 +168,14 @@ func (t *Task) WritePtr(p mem.ObjPtr, i int, q mem.ObjPtr) {
 func (t *Task) WritePtrs(p mem.ObjPtr, i int, qs []mem.ObjPtr) {
 	switch t.rt.cfg.Mode {
 	case ParMem, Manticore:
+		if t.rt.cfg.Mode == ParMem && t.rt.cfg.DeferredPromotion {
+			// Deferred mode pins instead of climbing, so there is no climb
+			// to amortize: a plain per-field loop is the batched barrier.
+			for j, q := range qs {
+				core.WritePtrDeferred(t.chunkCache(), t.sh.Current(), &t.pbuf, &t.Ops, p, i+j, q)
+			}
+			return
+		}
 		if t.rt.cfg.NoBarrierFastPath {
 			// Paper-faithful baseline: per-object master lookup, no
 			// batching, no fast paths.

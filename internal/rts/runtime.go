@@ -44,6 +44,7 @@ type Runtime struct {
 	gcNanos        atomic.Int64
 	baselineBytes  int64
 	baselineAlloc  mem.AllocStats
+	baselineRem    heap.RemSnapshot
 	prevPoolLimit  int64 // pool limit before New overrode it; Close restores
 	prevPoolShards int   // pool shard count before New overrode it
 	traceOwner     bool  // this runtime started the flight recorder; Close stops it
@@ -155,6 +156,7 @@ func New(cfg Config) *Runtime {
 	}
 	r.prevPoolShards = mem.SetChunkPoolShards(poolShards)
 	r.baselineAlloc = mem.AllocSnapshot()
+	r.baselineRem = heap.RemCounters()
 
 	if cfg.Mode != STW {
 		maxZones := cfg.MaxConcurrentZones
@@ -305,6 +307,34 @@ type Totals struct {
 	// directory ID operations the pool avoided. The pool gauges
 	// (PooledChunks/PooledBytes) are point-in-time.
 	Alloc mem.AllocStats
+
+	// Deferred describes the deferred-promotion remembered-set activity
+	// (zero unless Config.DeferredPromotion). Every pin is resolved exactly
+	// once, so at quiescence Pins equals the sum of the resolution columns
+	// plus Live — the balance the race tests assert.
+	Deferred DeferredTotals
+}
+
+// DeferredTotals is the Stats snapshot of deferred-promotion activity.
+type DeferredTotals struct {
+	Pins          int64 // down-pointer writes deferred (remembered-set entries registered)
+	SecondTouch   int64 // pinned pointees promoted eagerly by a second, distinct-slot touch (entry not consumed)
+	Refreshed     int64 // same-slot re-writes of a pinned pointee (no new entry, no copy)
+	DrainPromoted int64 // entries promoted or slot-repaired by a drain (zone collection or release sweep)
+	DrainDied     int64 // entries dead at a drain: slot overwritten, or slot dying with the subtree
+	JoinElided    int64 // entries elided at joins: the depth change dissolved the entanglement
+	JoinMigrated  int64 // entries carried to the surviving heap at joins (still pinned)
+	ReleaseDrop   int64 // entries dropped by wholesale release: pinned objects died uncopied
+	GCResolved    int64 // entries consumed by gc's extra-roots pass (direct collector callers)
+	Live          int64 // entries still registered at snapshot time
+}
+
+// Balanced reports whether every pin has been resolved exactly once:
+// Pins == DrainPromoted + DrainDied + JoinElided + ReleaseDrop +
+// GCResolved + Live. (SecondTouch, Refreshed, and JoinMigrated do not
+// consume entries.) Meaningful at quiescent points — after sessions drain.
+func (d DeferredTotals) Balanced() bool {
+	return d.Pins == d.DrainPromoted+d.DrainDied+d.JoinElided+d.ReleaseDrop+d.GCResolved+d.Live
 }
 
 // Stats returns aggregate statistics. Call after Run completes.
@@ -328,6 +358,19 @@ func (r *Runtime) Stats() Totals {
 		t.Zones = r.zones.Snapshot()
 	}
 	t.Alloc = mem.AllocSnapshot().Sub(r.baselineAlloc)
+	rem := heap.RemCounters()
+	t.Deferred = DeferredTotals{
+		Pins:          t.Ops.WritePtrPinned,
+		SecondTouch:   t.Ops.DeferredSecondTouch,
+		Refreshed:     t.Ops.DeferredRefresh,
+		DrainPromoted: t.Ops.DeferredDrainPromoted,
+		DrainDied:     t.Ops.DeferredDrainDied,
+		JoinElided:    rem.JoinElided - r.baselineRem.JoinElided,
+		JoinMigrated:  rem.JoinMigrated - r.baselineRem.JoinMigrated,
+		ReleaseDrop:   rem.ReleaseDropped - r.baselineRem.ReleaseDropped,
+		GCResolved:    rem.GCResolved - r.baselineRem.GCResolved,
+		Live:          rem.Live,
+	}
 	t.Sessions = SessionTotals{
 		Submitted:      r.sessTotals.Submitted.Load(),
 		Completed:      r.sessTotals.Completed.Load(),
