@@ -1,23 +1,27 @@
 // Command hhload is the closed-loop load generator for the serving layer:
 // N client goroutines drive a weighted scenario mix (kv-churn, bfs query,
-// histogram, fan-out publish) through an hh/serve.Server, each request
-// running as its own root-level session that is reclaimed wholesale at
-// completion.
+// histogram, fan-out publish, OCC transactions, stream windows, rank
+// analytics) through an hh/serve.Server, each request running as its own
+// root-level session that is reclaimed wholesale at completion.
 //
 //	hhload -mode all -procs 4 -sessions 8 -requests 96
 //	hhload -mode parmem -mix fan=1 -promote-buffer 1   # batching ablation
 //	hhload -mode all -nofastpath                       # barrier ablation
 //	hhload -mode all -deferred                         # lazy-promotion barrier
+//	hhload -mode all -mix txn=2,stream=1,rank=1 -txn-keys 16
+//	                                                   # transactional/streaming/analytics mix
 //	hhload -mode all -procs-sweep 2,8 -mix kv=2,bfs=1,hist=1,fan=1
 //	                                                   # high-P cross-validation
 //
 // For every runtime mode it reports serving statistics (throughput,
 // latency quantiles, peak concurrency), the runtime's session,
-// zone-concurrency, allocator, and write-barrier counters, and it FAILS
-// (exit 1) if any request
+// zone-concurrency, allocator, and write-barrier counters, plus — when the
+// mix includes transactions — the abort rate, wholesale-rollback bytes,
+// and retry latency. It FAILS (exit 1) if any request
 // miscomputes, if the per-request checksum stream diverges between modes
 // (or, with -procs-sweep, between any mode at any P and the first run),
-// if chunk occupancy does not return to baseline after Drain, or if parmem
+// if chunk occupancy does not return to baseline after Drain, if the txn
+// serializability oracle rejects a committed schedule, or if parmem
 // never collected two session subtrees concurrently (disable with
 // -min-zone-sessions 0).
 package main
@@ -43,7 +47,11 @@ func main() {
 	sessions := flag.Int("sessions", 8, "concurrent client sessions (served in-flight cap)")
 	requests := flag.Int("requests", 96, "total requests per mode")
 	size := flag.Int("size", 1200, "work per request (elements)")
-	mixSpec := flag.String("mix", "kv=2,bfs=1,hist=1", "weighted scenario mix")
+	mixSpec := flag.String("mix", "kv=2,bfs=1,hist=1",
+		"weighted scenario mix (kv|bfs|hist|fan|txn|stream|rank)")
+	txnKeys := flag.Int("txn-keys", 0, "txn scenario: shared-store key count (0 = default 64; smaller = more conflicts)")
+	streamWindow := flag.Int("stream-window", 0, "stream scenario: ring slots per partition window (0 = default 8)")
+	rankIters := flag.Int("rank-iters", 0, "rank scenario: PageRank sweeps per request (0 = default 4)")
 	budget := flag.Int64("budget", 0, "per-session allocation budget in words (0 = unlimited)")
 	gcMin := flag.Int64("gc-min", 2048, "collection trigger: minimum heap words")
 	gcRatio := flag.Float64("gc-ratio", 1.25, "collection trigger: growth ratio")
@@ -91,7 +99,8 @@ func main() {
 		runtime.GOMAXPROCS(maxP)
 	}
 
-	mix, err := load.ParseMix(*mixSpec)
+	params := load.Params{TxnKeys: *txnKeys, StreamWindow: *streamWindow, RankIters: *rankIters}
+	mix, err := load.ParseMixWith(params, *mixSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -228,6 +237,19 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 			100*float64(ops.WritePtrProm)/float64(pw),
 			ops.PromotedBytes()>>10, ops.PromoteClimbs, wPerClimb, ops.MeanClimbDepth())
 	}
+	if res.Commits+res.Aborts > 0 {
+		rollbackPerTxn := int64(0)
+		if res.Aborts > 0 {
+			rollbackPerTxn = res.RolledBackBytes / res.Aborts
+		}
+		retryLat := time.Duration(0)
+		if res.Retries > 0 {
+			retryLat = time.Duration(res.RetryNanos / res.Retries)
+		}
+		fmt.Printf("    txn: %d commits, %d aborts (%.1f%%), %d retries, %d B/txn rolled back wholesale, %s mean retry latency\n",
+			res.Commits, res.Aborts, 100*res.AbortRate(), res.Retries,
+			rollbackPerTxn, retryLat.Round(time.Microsecond))
+	}
 	if d := rt.Deferred; d.Pins > 0 {
 		died := d.DrainDied + d.JoinElided + d.ReleaseDrop + d.GCResolved
 		fmt.Printf("    deferred: %d pins (%d refreshed, %d second-touch); %d died uncopied (%.0f%%), %d drain-promoted, %d live\n",
@@ -242,6 +264,10 @@ func driveMode(mode hh.Mode, procs, sessions, requests, size int, mix load.Mix,
 	}
 
 	if res.Failures > 0 {
+		ok = false
+	}
+	if res.OracleErr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", mode, res.OracleErr)
 		ok = false
 	}
 	if err := r.CheckDisentangled(); err != nil {

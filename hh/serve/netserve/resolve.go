@@ -1,16 +1,41 @@
 package netserve
 
-import "repro/internal/load"
+import (
+	"sync"
+
+	"repro/internal/load"
+)
 
 // LoadResolver adapts the internal/load scenario registry as a
 // Config.Resolve: RUN's scenario argument is the registry name ("kv",
-// "bfs", "hist", "fan"). cmd/hhserved and the tests both wire it in.
+// "bfs", "hist", "fan", "txn", "stream", "rank"). Stateful scenarios
+// (txn) are instantiated once per resolver — i.e. per server — so every
+// connection's requests share the same host-side store, exactly as
+// concurrent clients of one drive loop do; an optimistic conflict
+// surfaces to the network client as the session's abort error, and
+// retrying is the client's business. cmd/hhserved and the tests both
+// wire it in.
 func LoadResolver() func(string) (Runner, bool) {
+	var mu sync.Mutex
+	instances := map[string]load.ScenarioRun{}
 	return func(name string) (Runner, bool) {
 		sc, err := load.ByName(name)
 		if err != nil {
 			return nil, false
 		}
-		return Runner(sc.Run), true
+		if sc.Run != nil {
+			return Runner(sc.Run), true
+		}
+		mu.Lock()
+		run, ok := instances[name]
+		if !ok {
+			// The store's sizing knobs come from Params defaults; the
+			// per-request size argument still scales each transaction's
+			// staged scratch.
+			run = sc.NewRun(0)
+			instances[name] = run
+		}
+		mu.Unlock()
+		return Runner(run.Run), true
 	}
 }

@@ -87,10 +87,25 @@ type Ticket struct {
 }
 
 // Wait blocks until the request's session completes and returns its
-// result or failure (hh.ErrBudgetExceeded, *hh.PanicError).
+// result or failure (hh.ErrBudgetExceeded, *hh.PanicError, or an
+// *hh.AbortError when the request rolled itself back).
 func (tk *Ticket) Wait() (uint64, error) {
 	<-tk.done
 	return tk.res, tk.err
+}
+
+// WholesaleBytes reports the chunk bytes released in bulk when the
+// request's session completed — on the abort path, the size of the
+// rollback the hierarchy performed for free. Valid after Wait returns; 0
+// while the request is in flight (and in the flat modes, whose sessions
+// allocate into shared heaps).
+func (tk *Ticket) WholesaleBytes() int64 {
+	select {
+	case <-tk.done:
+		return tk.ses.WholesaleBytes()
+	default:
+		return 0
+	}
 }
 
 // Server runs independent requests as concurrent root-level sessions with

@@ -43,6 +43,13 @@ var ErrBudgetExceeded = rts.ErrBudgetExceeded
 // cannot crash a serving runtime.
 type PanicError = rts.PanicError
 
+// AbortError is the failure Wait returns when the session rolled itself
+// back with Task.Abort — optimistic-concurrency conflicts, validation
+// failures, any voluntary abandon. Result carries the aborting code's
+// payload word; match with errors.As to distinguish retryable aborts from
+// crashes.
+type AbortError = rts.AbortError
+
 // Session is a handle to one in-flight (or completed) unit of work.
 type Session struct {
 	r     *Runtime

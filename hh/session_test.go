@@ -88,3 +88,44 @@ func TestSubmitBudgetAndPanicErrors(t *testing.T) {
 		t.Fatalf("post-failure session: res=%d err=%v", got, err)
 	}
 }
+
+// TestTaskAbort checks the voluntary-rollback path in every mode: a
+// session that stages work and then calls Abort fails with an
+// *AbortError carrying the application's result word and reason, its
+// subtree is reclaimed wholesale in the hierarchical modes, and sibling
+// sessions are untouched.
+func TestTaskAbort(t *testing.T) {
+	reason := errors.New("validation conflict")
+	for _, mode := range Modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			r := New(WithMode(mode), WithProcs(2), WithGCPolicy(2048, 1.25))
+			defer r.Close()
+
+			ses := r.Submit(SessionOpts{}, func(task *Task) uint64 {
+				churn(task, 800) // stage some allocation, then roll back
+				task.Abort(0xBEEF, reason)
+				return 1 // unreachable
+			})
+			_, err := ses.Wait()
+			var ab *AbortError
+			if !errors.As(err, &ab) {
+				t.Fatalf("Wait returned %v, want *AbortError", err)
+			}
+			if ab.Result != 0xBEEF || !errors.Is(err, reason) {
+				t.Fatalf("AbortError = {Result %#x, Reason %v}, want {0xbeef, %v}",
+					ab.Result, ab.Reason, reason)
+			}
+			if mode == ParMem || mode == Seq {
+				if ses.WholesaleBytes() == 0 {
+					t.Error("aborted session rolled back zero bytes")
+				}
+			}
+			// A concurrent-era sibling still commits normally.
+			if got, err := r.Submit(SessionOpts{}, func(task *Task) uint64 {
+				return churn(task, 64)
+			}).Wait(); err != nil || got == 0 {
+				t.Fatalf("post-abort session: res=%d err=%v", got, err)
+			}
+		})
+	}
+}

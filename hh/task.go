@@ -119,6 +119,14 @@ func (t *Task) WritePtrs(p Ptr, start int, qs []Ptr) {
 	t.inner.WritePtrs(p.raw, start, raw)
 }
 
+// Abort rolls the session back and never returns: the session fails with
+// an *AbortError carrying result and reason, every sibling task unwinds at
+// its next allocation safe point, and the session's subtree is reclaimed
+// wholesale — everything the request allocated is rolled back in bulk with
+// no per-object undo, the hierarchy's free-rollback path. Outside a
+// session (Run) the AbortError is re-raised as a panic.
+func (t *Task) Abort(result uint64, reason error) { t.inner.Abort(result, reason) }
+
 // CASWord atomically compares-and-swaps mutable raw word i.
 func (t *Task) CASWord(p Ptr, i int, old, new uint64) bool {
 	return t.inner.CASWord(p.raw, i, old, new)

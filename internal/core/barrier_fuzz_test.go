@@ -181,6 +181,18 @@ func (m *fuzzModel) checksum() uint64 {
 // operands. Unusable ops (no live objects, registry full, stack empty) are
 // skipped in every universe alike, so the universes always see identical
 // schedules.
+//
+// Op 6 (pop) is discriminated by its a operand: a == 0xAB ABORTS the
+// current heap — the transaction-rollback shape — instead of joining it.
+// An abort releases the heap's chunks wholesale with no join; the
+// deferred universe must first DrainForRelease its remembered set, so
+// pointees an ancestor still holds (pins) are promoted out before their
+// chunks are recycled, while subtree-internal entries die unresolved.
+// Everything allocated at the aborted depth is then dropped from the
+// registry and the model: promotion at write time (eager/slow) or at the
+// release drain (deferred) guarantees anything an ancestor can still
+// reach has already been copied out, so the post-abort reachable graphs
+// must again agree with the model in all three universes.
 func runBarrierDifferential(t *testing.T, data []byte) {
 	if len(data) > fuzzMaxBytes {
 		data = data[:fuzzMaxBytes]
@@ -200,6 +212,12 @@ func runBarrierDifferential(t *testing.T, data []byte) {
 			t.Fatalf("schedule leaked %d live remembered entries", d)
 		}
 	}()
+
+	// allocDepth[i] is object i's home depth: the stack depth it was
+	// allocated at, decremented when that heap joins its parent (the merge
+	// moves its objects up a level). An abort kills every object homed at
+	// the aborted depth.
+	var allocDepth []int
 
 	// pick resolves operand byte b to a live registry index, -1 if none.
 	pick := func(b byte) int {
@@ -241,6 +259,7 @@ func runBarrierDifferential(t *testing.T, data []byte) {
 				u.alloc(len(model.objs), payload)
 			}
 			model.alloc(payload)
+			allocDepth = append(allocDepth, len(universes[0].stack)-1)
 		case 1: // barrier pointer write
 			dst := pick(a)
 			if dst < 0 {
@@ -309,14 +328,46 @@ func runBarrierDifferential(t *testing.T, data []byte) {
 				u.stack = append(u.stack, heap.NewChild(u.cur()))
 			}
 			checkStructure(step, "push")
-		case 6: // pop: join the current heap into its parent
+		case 6: // pop: join the current heap into its parent — or abort it
 			if len(universes[0].stack) == 1 {
+				continue
+			}
+			depth := len(universes[0].stack) - 1
+			if a == 0xAB {
+				// Abort-unwind: wholesale release, no join. The deferred
+				// universe resolves its pins first — exactly the runtime's
+				// session-abort path — so ancestor-held pointees survive the
+				// chunk recycling; the eager universes promoted them at write
+				// time and have nothing to do.
+				for _, u := range universes {
+					child := u.stack[len(u.stack)-1]
+					u.stack = u.stack[:len(u.stack)-1]
+					if u.kind == uDeferred {
+						DrainForRelease(nil, &u.pbuf, &u.ops, child.Depth(), []*heap.Heap{child})
+					}
+					heap.FreeChunkList(child.TakeChunks())
+				}
+				for i := range model.objs {
+					if allocDepth[i] != depth || model.dropped[i] {
+						continue
+					}
+					for _, u := range universes {
+						u.objs[i] = mem.NilPtr
+					}
+					model.dropped[i] = true
+				}
+				checkStructure(step, "abort")
 				continue
 			}
 			for _, u := range universes {
 				child := u.stack[len(u.stack)-1]
 				u.stack = u.stack[:len(u.stack)-1]
 				heap.Join(u.cur(), child)
+			}
+			for i := range allocDepth {
+				if allocDepth[i] == depth {
+					allocDepth[i]--
+				}
 			}
 			checkStructure(step, "join")
 		case 7: // collect the current heap (always a leaf of the stack)
@@ -359,6 +410,9 @@ func FuzzBarrier(f *testing.F) {
 	f.Add(seedPinDrainPaths())
 	f.Add(seedJoinElide())
 	f.Add(seedDeepChurn())
+	f.Add(seedAbortUnwind())
+	f.Add(seedTxnRetry())
+	f.Add(seedAbortDeep())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runBarrierDifferential(t, data)
 	})
@@ -437,6 +491,69 @@ func seedJoinElide() []byte {
 		6, 0, 0, 0, // pop-join (elide)
 		3, 0, 1, 0, // read obj0.f1
 		7, 0, 0, 0, // collect root
+	}
+}
+
+// seedAbortUnwind: the basic rollback shape — stage objects in a child,
+// publish one into an ancestor slot (pin in the deferred universe), then
+// abort. The pinned pointee must be drain-promoted before the chunks are
+// recycled; the unpublished sibling must die with the heap.
+func seedAbortUnwind() []byte {
+	return []byte{
+		0, 1, 0, 0, // alloc obj0 (root)
+		5, 0, 0, 0, // push
+		0, 2, 0, 0, // alloc obj1 (child: published intent)
+		0, 3, 0, 0, // alloc obj2 (child: private scratch)
+		1, 0, 0, 1, // obj0.f0 = obj1   (publish → promote / pin)
+		2, 2, 9, 0, // obj2.payload = ... (scratch mutation)
+		6, 0xAB, 0, 0, // ABORT: obj2 dies, obj1 survives via obj0.f0
+		3, 0, 0, 0, // read obj0.f0 (must still see obj1's id)
+		7, 0, 0, 0, // collect root
+	}
+}
+
+// seedTxnRetry: a transaction that stages, conflicts, aborts, and then a
+// re-forked retry of the same shape commits by joining — fork, conflicting
+// writes into the shared ancestor slot, abort-unwind, re-fork, join.
+func seedTxnRetry() []byte {
+	return []byte{
+		0, 1, 0, 0, // alloc obj0 (root: the shared slot array)
+		0, 2, 0, 0, // alloc obj1 (root: prior committed value)
+		1, 0, 0, 1, // obj0.f0 = obj1 (committed state)
+		5, 0, 0, 0, // push: attempt #1
+		0, 3, 0, 0, // alloc obj2 (staged intent)
+		1, 0, 0, 2, // obj0.f0 = obj2 (conflicting write over obj1)
+		1, 0, 1, 1, // obj0.f1 = obj1 (second slot keeps the old value live)
+		6, 0xAB, 0, 0, // ABORT attempt #1: staged obj2's home dies
+		3, 0, 0, 0, // read obj0.f0 (the promoted intent survived the rollback)
+		5, 0, 0, 0, // push: attempt #2 (retry)
+		0, 4, 0, 0, // alloc obj3 (restaged intent)
+		1, 0, 0, 3, // obj0.f0 = obj3
+		6, 0, 0, 0, // pop-join: attempt #2 commits
+		3, 0, 0, 0, // read obj0.f0
+		7, 1, 0, 0, // collect root
+	}
+}
+
+// seedAbortDeep: abort an inner level while an outer child survives and
+// later joins — the unwind must only kill the aborted depth, and entries
+// pinned from the outer child (not the root) must drain to the right heap.
+func seedAbortDeep() []byte {
+	return []byte{
+		0, 1, 0, 0, // alloc obj0 (root)
+		5, 0, 0, 0, // push (depth 1)
+		0, 2, 0, 0, // alloc obj1 (depth 1)
+		5, 0, 0, 0, // push (depth 2)
+		0, 3, 0, 0, // alloc obj2 (depth 2)
+		0, 4, 0, 0, // alloc obj3 (depth 2, private)
+		1, 1, 0, 2, // obj1.f0 = obj2 (pin at depth 1, not root)
+		1, 0, 1, 2, // obj0.f1 = obj2 (second touch from the root)
+		6, 0xAB, 0, 0, // ABORT depth 2: obj3 dies, obj2 drained out
+		3, 1, 0, 0, // read obj1.f0
+		7, 0, 0, 0, // collect depth 1, pre-drained
+		6, 0, 0, 0, // pop-join depth 1
+		3, 0, 1, 0, // read obj0.f1
+		7, 1, 0, 0, // collect root, gc drain path
 	}
 }
 

@@ -79,7 +79,7 @@ func WritePtrDeferred(cc *mem.ChunkCache, cur *heap.Heap, buf *PromoteBuf, ops *
 	// (heap lock → remset mutex, never the reverse).
 	src := heap.Of(p)
 	mem.StorePtrFieldAtomic(m, field, p)
-	touch := src.RememberOrTouch(m, field, p)
+	touch, prev := src.RememberOrTouch(m, field, p)
 	h.Unlock()
 	switch touch {
 	case heap.TouchPinned:
@@ -95,12 +95,26 @@ func WritePtrDeferred(cc *mem.ChunkCache, cur *heap.Heap, buf *PromoteBuf, ops *
 	}
 	// Second cross-heap touch: the pointee is already pinned through a
 	// DIFFERENT slot, so it is genuinely shared — promote it eagerly,
-	// exactly the eager barrier's climb. The earlier entry stays in the
-	// remembered set; the next drain finds its slot's pointer forwarded
-	// and repairs the slot without copying.
+	// exactly the eager barrier's climb. The target is the SHALLOWER of
+	// the two pinning slots' heaps: after both writes the eager barrier
+	// would have left the pointee at the first slot's depth, and promoting
+	// only as far as this write's slot would leave the first slot's
+	// down-pointer alive with its pin filed in a heap the pointee no
+	// longer inhabits — exactly the misfiled-pin state the invariant
+	// walker rejects. Promoting through the first slot repairs it too;
+	// its entry then resolves as overwritten at the next drain.
 	ops.WritePtrProm++
 	ops.Promotions++
 	ops.DeferredSecondTouch++
+	if ps := chaseFwd(prev.Slot); heap.Of(ps).Depth() < heap.Of(chaseFwd(m)).Depth() &&
+		mem.LoadPtrFieldAtomic(ps, prev.Field) == prev.Ptr {
+		writePromote(cc, buf, ops, ps, prev.Field, p)
+		// Redo this write's store on the (possibly re-promoted) master.
+		m2, h2 := FindMaster(ops, m)
+		mem.StorePtrFieldAtomic(m2, field, chaseFwd(p))
+		h2.Unlock()
+		return
+	}
 	writePromote(cc, buf, ops, m, field, p)
 }
 

@@ -170,6 +170,16 @@ func (c *Collector) drainRemembered() {
 				continue
 			}
 			e.Slot, e.Ptr = slot, moved
+			if owner := heap.Of(moved); owner != h && owner != c.toSpace[h] {
+				// The pointee was dragged out of the zone by an earlier
+				// transitive promotion (it rode along in another object's
+				// copied subgraph) and this heap no longer owns its master:
+				// re-file the pin where the object now lives, or the owner's
+				// own collections would never see it as a root. The slot was
+				// repaired to the master above, so nothing dangles either way.
+				owner.RefilePin(e)
+				continue
+			}
 			kept = append(kept, e)
 		}
 		if resolved > 0 {

@@ -12,7 +12,7 @@ import (
 func pin(t *testing.T, owner *Heap, slot mem.ObjPtr, field int, ptr mem.ObjPtr) {
 	t.Helper()
 	mem.StorePtrFieldAtomic(slot, field, ptr)
-	if touch := owner.RememberOrTouch(slot, field, ptr); touch != TouchPinned {
+	if touch, _ := owner.RememberOrTouch(slot, field, ptr); touch != TouchPinned {
 		t.Fatalf("first RememberOrTouch of %v = %v, want TouchPinned", ptr, touch)
 	}
 }
@@ -48,13 +48,18 @@ func TestCheckInvariantsCleanPin(t *testing.T) {
 	}
 	// Re-writing the pointee into the slot that already pins it is only a
 	// refresh: no new sharing, no new entry.
-	if touch := child.RememberOrTouch(slot, 0, ptr); touch != TouchRefreshed {
+	if touch, _ := child.RememberOrTouch(slot, 0, ptr); touch != TouchRefreshed {
 		t.Fatalf("same-slot RememberOrTouch = %v, want TouchRefreshed", touch)
 	}
 	// The same pointee through another slot is a second touch and must not
-	// register a second entry.
-	if touch := child.RememberOrTouch(slot, 1, ptr); touch != TouchSecond {
+	// register a second entry; the existing pin comes back so the caller
+	// can promote past the shallower slot.
+	touch, prevPin := child.RememberOrTouch(slot, 1, ptr)
+	if touch != TouchSecond {
 		t.Fatalf("distinct-slot RememberOrTouch = %v, want TouchSecond", touch)
+	}
+	if prevPin.Slot != slot || prevPin.Field != 0 || prevPin.Ptr != ptr {
+		t.Fatalf("TouchSecond prev pin = %+v, want {%v 0 %v}", prevPin, slot, ptr)
 	}
 	if n := child.RemCount(); n != 1 {
 		t.Fatalf("RemCount after second touch = %d, want 1", n)

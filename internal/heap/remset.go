@@ -133,7 +133,11 @@ const (
 // without registering, and the caller promotes eagerly. The existing
 // entry is left in place in the touch cases: its slot still physically
 // holds the deep pointer and will be repaired by the next drain.
-func (h *Heap) RememberOrTouch(slot mem.ObjPtr, field int, ptr mem.ObjPtr) Touch {
+//
+// On TouchSecond the returned entry describes the EXISTING pin (its slot,
+// field, and the pinned pointer), so the caller can promote past the
+// shallower of the two slots; it is the zero RemEntry otherwise.
+func (h *Heap) RememberOrTouch(slot mem.ObjPtr, field int, ptr mem.ObjPtr) (Touch, RemEntry) {
 	rs := h.Resolve().remSet()
 	rs.mu.Lock()
 	if prev, dup := rs.byPtr[ptr]; dup {
@@ -141,9 +145,9 @@ func (h *Heap) RememberOrTouch(slot mem.ObjPtr, field int, ptr mem.ObjPtr) Touch
 		// The recorded slot object may have been promoted since the pin;
 		// compare through the forwarding chains.
 		if prev.field == field && chaseSlot(prev.slot) == chaseSlot(slot) {
-			return TouchRefreshed
+			return TouchRefreshed, RemEntry{}
 		}
-		return TouchSecond
+		return TouchSecond, RemEntry{Slot: prev.slot, Field: prev.field, Ptr: ptr}
 	}
 	if rs.byPtr == nil {
 		rs.byPtr = make(map[mem.ObjPtr]remSlot)
@@ -152,7 +156,7 @@ func (h *Heap) RememberOrTouch(slot mem.ObjPtr, field int, ptr mem.ObjPtr) Touch
 	rs.entries = append(rs.entries, RemEntry{Slot: slot, Field: field, Ptr: ptr})
 	rs.mu.Unlock()
 	remLive.Add(1)
-	return TouchPinned
+	return TouchPinned, RemEntry{}
 }
 
 // TakeRemembered detaches and returns the heap's remembered entries,
@@ -191,6 +195,32 @@ func (h *Heap) ReinstallRemembered(entries []RemEntry) {
 	}
 	rs.mu.Unlock()
 	remLive.Add(int64(len(entries)))
+}
+
+// RefilePin files an entry taken from another heap's remembered set into
+// h, which now owns the pointee's master copy: the pinned object was
+// dragged out of its original heap by a transitive promotion (it rode
+// along in some other pointee's copied subgraph), and the pin must live
+// where the object does or the next collection of h would not see it as
+// a root. The caller has already repaired the entry's slot to the master
+// and updated e.Ptr to it. If h already pins the pointee through another
+// slot the duplicate is dropped — the repaired slot stays valid, and the
+// existing entry keeps the pointee pinned.
+func (h *Heap) RefilePin(e RemEntry) {
+	rs := h.Resolve().remSet()
+	rs.mu.Lock()
+	if _, dup := rs.byPtr[e.Ptr]; dup {
+		rs.mu.Unlock()
+		remGCResolved.Add(1)
+		return
+	}
+	if rs.byPtr == nil {
+		rs.byPtr = make(map[mem.ObjPtr]remSlot)
+	}
+	rs.byPtr[e.Ptr] = remSlot{slot: e.Slot, field: e.Field}
+	rs.entries = append(rs.entries, e)
+	rs.mu.Unlock()
+	remLive.Add(1)
 }
 
 // RemEntries returns a copy of the heap's current remembered entries, for

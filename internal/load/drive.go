@@ -1,6 +1,9 @@
 package load
 
 import (
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,27 +12,73 @@ import (
 	"repro/hh/serve"
 )
 
+// txnMaxRetries caps how many times one request is resubmitted after
+// voluntary aborts before it is counted as a failure. Retries back off
+// linearly, so the cap is effectively unreachable for real conflict
+// rates; it exists to bound the loop if a scenario aborts unconditionally.
+const txnMaxRetries = 1000
+
 // DriveResult summarizes one closed loop.
 type DriveResult struct {
 	// Checksum is the order-independent sum of every successful request's
 	// checksum; identical across runtime modes for the same request stream.
 	Checksum uint64
-	// Failures counts requests whose session aborted.
+	// Failures counts requests whose session failed for good (a crash, or
+	// an abort past the retry cap).
 	Failures int64
 	// Elapsed is the loop's wall time, submission to drain.
 	Elapsed time.Duration
+
+	// Transactional accounting, all zero when the mix has no stateful
+	// scenario. Aborts counts attempts that rolled back (each a wholesale
+	// reclamation); Commits counts requests that eventually committed;
+	// Retries counts resubmissions; RolledBackBytes is the chunk bytes the
+	// aborted attempts released in bulk (0 in the flat modes, whose
+	// sessions have no private subtree); RetryNanos is the wall time the
+	// aborted attempts and their backoffs consumed.
+	Commits         int64
+	Aborts          int64
+	Retries         int64
+	RolledBackBytes int64
+	RetryNanos      int64
+
+	// OracleErr is the post-drain Verify verdict of the mix's stateful
+	// scenarios (the txn serializability oracle); nil when consistent.
+	OracleErr error
+}
+
+// AbortRate returns aborted attempts over all commit attempts.
+func (d DriveResult) AbortRate() float64 {
+	if d.Aborts+d.Commits == 0 {
+		return 0
+	}
+	return float64(d.Aborts) / float64(d.Aborts+d.Commits)
 }
 
 // Drive runs a closed loop: clients goroutines pull request indices from a
 // shared dispenser, submit them to srv (backing off while saturated), and
-// wait for each result before taking the next. It drains the server before
-// returning. onError, if non-nil, is called for each failed request.
+// wait for each result before taking the next. A request that aborts
+// voluntarily (*hh.AbortError — a txn conflict) is retried with linear
+// backoff and its rollback is accounted; other failures are final. Drive
+// drains the server, then runs every stateful scenario's Verify oracle.
+// onError, if non-nil, is called for each request that failed for good.
 func Drive(srv *serve.Server, mix Mix, clients, requests, size int,
 	onError func(idx int64, scenario string, err error)) DriveResult {
+
+	// One shared instance per stateful scenario in the mix: concurrent
+	// requests contend on it, which is the point.
+	runs := map[string]ScenarioRun{}
+	for _, sc := range mix.entries {
+		if sc.NewRun != nil && runs[sc.Name] == nil {
+			runs[sc.Name] = sc.NewRun(size)
+		}
+	}
 
 	var next atomic.Int64
 	var sum atomic.Uint64
 	var failures atomic.Int64
+	var commits, aborts, retries atomic.Int64
+	var rolledBack, retryNanos atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -42,30 +91,69 @@ func Drive(srv *serve.Server, mix Mix, clients, requests, size int,
 					return
 				}
 				sc := mix.Pick(uint64(idx))
-				var tk *serve.Ticket
-				for {
-					var err error
-					tk, err = srv.Submit(func(t *hh.Task) uint64 {
-						return sc.Run(t, uint64(idx)+1, size)
-					})
+				runner := sc.Run
+				if sc.NewRun != nil {
+					runner = runs[sc.Name].Run
+				}
+				for attempt := 0; ; attempt++ {
+					attemptStart := time.Now()
+					var tk *serve.Ticket
+					for {
+						var err error
+						tk, err = srv.Submit(func(t *hh.Task) uint64 {
+							return runner(t, uint64(idx)+1, size)
+						})
+						if err == nil {
+							break
+						}
+						time.Sleep(200 * time.Microsecond) // saturated: back off, retry
+					}
+					res, err := tk.Wait()
 					if err == nil {
+						sum.Add(res)
+						if sc.NewRun != nil {
+							commits.Add(1)
+						}
 						break
 					}
-					time.Sleep(200 * time.Microsecond) // saturated: back off, retry
-				}
-				res, err := tk.Wait()
-				if err != nil {
+					var ab *hh.AbortError
+					if errors.As(err, &ab) && attempt < txnMaxRetries {
+						// Voluntary rollback: the session's staging was
+						// reclaimed wholesale; account it and rerun the same
+						// request (same seed, same eventual checksum).
+						aborts.Add(1)
+						retries.Add(1)
+						rolledBack.Add(tk.WholesaleBytes())
+						backoff := time.Duration(attempt+1) * 20 * time.Microsecond
+						time.Sleep(backoff)
+						retryNanos.Add(int64(time.Since(attemptStart)))
+						continue
+					}
 					failures.Add(1)
 					if onError != nil {
 						onError(idx, sc.Name, err)
 					}
-					continue
+					break
 				}
-				sum.Add(res)
 			}
 		}()
 	}
 	wg.Wait()
 	srv.Drain()
-	return DriveResult{Checksum: sum.Load(), Failures: failures.Load(), Elapsed: time.Since(start)}
+	res := DriveResult{
+		Checksum: sum.Load(), Failures: failures.Load(), Elapsed: time.Since(start),
+		Commits: commits.Load(), Aborts: aborts.Load(), Retries: retries.Load(),
+		RolledBackBytes: rolledBack.Load(), RetryNanos: retryNanos.Load(),
+	}
+	names := make([]string, 0, len(runs))
+	for name := range runs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := runs[name].Verify(); err != nil && res.OracleErr == nil {
+			res.OracleErr = fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return res
 }

@@ -1,10 +1,14 @@
 // Package load defines the request scenarios driven by the closed-loop
 // load generator (cmd/hhload) and the serving benchmark tables (internal/
-// report, hhbench -table serve/alloc/promote). Each scenario is one
+// report, hhbench -table serve/alloc/promote/txn). Each scenario is one
 // self-contained request: given a seed and a size it builds, mutates, and
 // folds session-local data into a deterministic checksum, so the same
 // request stream can be replayed against every runtime mode — and against
-// every barrier/allocator ablation — and cross-validated.
+// every barrier/allocator ablation — and cross-validated. The stateful
+// txn scenario shares a host-side store across requests and keeps the
+// same discipline by making each committed request's checksum a pure
+// function of its seed; the drive loop retries its optimistic-conflict
+// aborts (each one a wholesale rollback) until the request commits.
 package load
 
 import (
@@ -15,12 +19,53 @@ import (
 	"repro/hh"
 )
 
-// Scenario is one request archetype.
+// Scenario is one request archetype. Stateless scenarios provide Run;
+// stateful ones (txn) provide NewRun instead and are instantiated once per
+// drive loop, so concurrent requests share (host-side) state and the
+// instance can be oracle-checked after the loop drains.
 type Scenario struct {
 	Name string
 	// Run executes one request on the session's root task. The checksum is
-	// a pure function of (seed, size) in every runtime mode.
+	// a pure function of (seed, size) in every runtime mode. nil for
+	// stateful scenarios.
 	Run func(t *hh.Task, seed uint64, size int) uint64
+	// NewRun instantiates a stateful scenario's shared state for one drive
+	// loop. nil for stateless scenarios.
+	NewRun func(size int) ScenarioRun
+}
+
+// ScenarioRun is one instantiated stateful scenario. Its Run method keeps
+// the same contract as Scenario.Run — each successful request's checksum
+// is a pure function of (seed, size), so the drive loop's order-
+// independent sum stays mode-invariant no matter how concurrent requests
+// interleave on the shared state.
+type ScenarioRun interface {
+	Run(t *hh.Task, seed uint64, size int) uint64
+	// Verify cross-checks the instance's final state after the drive loop
+	// has drained (the serializability oracle for txn: replay the committed
+	// schedule through a single-threaded model and compare). nil when
+	// consistent.
+	Verify() error
+}
+
+// Params tunes the parameterized scenarios; zero values select defaults.
+type Params struct {
+	TxnKeys      int // txn: keys in the shared store (smaller = more conflicts); default 64
+	StreamWindow int // stream: ring slots per partition window; default 8
+	RankIters    int // rank: PageRank sweeps per request; default 4
+}
+
+func (p Params) withDefaults() Params {
+	if p.TxnKeys <= 0 {
+		p.TxnKeys = 64
+	}
+	if p.StreamWindow <= 0 {
+		p.StreamWindow = 8
+	}
+	if p.RankIters <= 0 {
+		p.RankIters = 4
+	}
+	return p
 }
 
 const kvSlots = 16
@@ -192,24 +237,39 @@ func histogram(t *hh.Task, seed uint64, size int) uint64 {
 	return sum
 }
 
-// All returns every scenario, in canonical order.
-func All() []Scenario {
+// All returns every scenario with default Params, in canonical order.
+func All() []Scenario { return AllWith(Params{}) }
+
+// AllWith returns every scenario, in canonical order, with the
+// parameterized ones bound to p.
+func AllWith(p Params) []Scenario {
+	p = p.withDefaults()
 	return []Scenario{
 		{Name: "kv", Run: kvChurn},
 		{Name: "bfs", Run: bfsQuery},
 		{Name: "hist", Run: histogram},
 		{Name: "fan", Run: fanPublish},
+		{Name: "txn", NewRun: func(size int) ScenarioRun { return newTxnStore(p.TxnKeys) }},
+		{Name: "stream", Run: func(t *hh.Task, seed uint64, size int) uint64 {
+			return streamWindow(t, seed, size, p.StreamWindow)
+		}},
+		{Name: "rank", Run: func(t *hh.Task, seed uint64, size int) uint64 {
+			return rankRequest(t, seed, size, p.RankIters)
+		}},
 	}
 }
 
-// ByName resolves one scenario.
-func ByName(name string) (Scenario, error) {
-	for _, s := range All() {
+// ByName resolves one scenario with default Params.
+func ByName(name string) (Scenario, error) { return ByNameWith(Params{}, name) }
+
+// ByNameWith resolves one scenario with p bound.
+func ByNameWith(p Params, name string) (Scenario, error) {
+	for _, s := range AllWith(p) {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Scenario{}, fmt.Errorf("load: unknown scenario %q (want kv|bfs|hist|fan)", name)
+	return Scenario{}, fmt.Errorf("load: unknown scenario %q (want kv|bfs|hist|fan|txn|stream|rank)", name)
 }
 
 // Mix is a weighted scenario mix; requests are assigned deterministically
@@ -219,8 +279,12 @@ type Mix struct {
 }
 
 // ParseMix parses "kv=4,bfs=1,hist=1" (or "kv,bfs" with weight 1 each)
-// into a mix.
-func ParseMix(spec string) (Mix, error) {
+// into a mix with default Params.
+func ParseMix(spec string) (Mix, error) { return ParseMixWith(Params{}, spec) }
+
+// ParseMixWith parses a mix spec with p bound into the parameterized
+// scenarios.
+func ParseMixWith(p Params, spec string) (Mix, error) {
 	var m Mix
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -236,7 +300,7 @@ func ParseMix(spec string) (Mix, error) {
 			}
 			weight = w
 		}
-		s, err := ByName(name)
+		s, err := ByNameWith(p, name)
 		if err != nil {
 			return Mix{}, err
 		}

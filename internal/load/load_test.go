@@ -23,6 +23,24 @@ func TestParseMix(t *testing.T) {
 	if _, err := ParseMix("kv=0"); err == nil {
 		t.Fatal("zero weight accepted")
 	}
+	m, err = ParseMixWith(Params{TxnKeys: 32}, "txn=2,stream=1,rank=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("mix len %d, want 4", m.Len())
+	}
+}
+
+// runnerFor returns a request runner for sc, instantiating stateful
+// scenarios fresh — a sequential replay has no concurrent conflicts, so
+// every transaction commits and the checksum stays a pure function of
+// (seed, size).
+func runnerFor(sc Scenario, size int) func(*hh.Task, uint64, int) uint64 {
+	if sc.NewRun != nil {
+		return sc.NewRun(size).Run
+	}
+	return sc.Run
 }
 
 // TestScenariosAgreeUnderBarrierAblations replays every scenario with the
@@ -50,9 +68,10 @@ func TestScenariosAgreeUnderBarrierAblations(t *testing.T) {
 				hh.WithGCPolicy(2048, 1.25)}, cfg.opts...)
 			r := hh.New(opts...)
 			for _, sc := range All() {
+				run := runnerFor(sc, 300)
 				for seed := uint64(1); seed <= 2; seed++ {
 					s := r.Submit(hh.SessionOpts{}, func(task *hh.Task) uint64 {
-						return sc.Run(task, seed, 300)
+						return run(task, seed, 300)
 					})
 					got, err := s.Wait()
 					if err != nil {
@@ -84,9 +103,10 @@ func TestScenariosDeterministicAcrossModes(t *testing.T) {
 	for _, mode := range hh.Modes {
 		r := hh.New(hh.WithMode(mode), hh.WithProcs(2), hh.WithGCPolicy(2048, 1.25))
 		for _, sc := range All() {
+			run := runnerFor(sc, 300)
 			for seed := uint64(1); seed <= 2; seed++ {
 				s := r.Submit(hh.SessionOpts{}, func(task *hh.Task) uint64 {
-					return sc.Run(task, seed, 300)
+					return run(task, seed, 300)
 				})
 				got, err := s.Wait()
 				if err != nil {

@@ -1,0 +1,97 @@
+package load
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hh"
+	"repro/hh/serve"
+)
+
+// MixedStats compares latency-sensitive kv serving with and without
+// resident rank analytics on the same runtime — the mixed-criticality
+// question: what does sharing the chunk pool, the zone scheduler, and the
+// workers with long-occupancy low-priority sessions cost the p99?
+type MixedStats struct {
+	P99Alone      time.Duration // kv-only serve p99
+	P99Mixed      time.Duration // kv serve p99 with analytics resident
+	AnalyticsOps  int64         // rank sessions completed during the mixed phase
+	ChecksumAlone uint64        // kv request-stream checksum, alone phase
+	ChecksumMixed uint64        // same stream, mixed phase (must match)
+	Failures      int64
+}
+
+// RunMixed measures the two phases on fresh runtimes: first a kv-only
+// closed loop, then the identical loop while background goroutines keep
+// long-running rank sessions resident (submitted directly on the runtime,
+// not through the server — analytics is a separate tenant that bypasses
+// the kv admission queue but shares everything below it). The kv stream
+// is identical in both phases, so the checksums must match; the p99 delta
+// is the interference.
+func RunMixed(mode hh.Mode, procs int, p Params, extra []hh.Option,
+	clients, requests, size int) (MixedStats, error) {
+
+	p = p.withDefaults()
+	mix, err := ParseMixWith(p, "kv")
+	if err != nil {
+		return MixedStats{}, err
+	}
+	ranker, err := ByNameWith(p, "rank")
+	if err != nil {
+		return MixedStats{}, err
+	}
+
+	phase := func(analytics bool) (serve.ServeStats, DriveResult, int64) {
+		opts := append([]hh.Option{hh.WithMode(mode), hh.WithProcs(procs),
+			hh.WithGCPolicy(2048, 1.25)}, extra...)
+		r := hh.New(opts...)
+		defer r.Close()
+		srv := serve.New(r, serve.WithMaxInFlight(clients), serve.WithQueueDepth(2*clients))
+
+		var ops atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if analytics {
+			// Two resident analytics workers: each keeps one rank session in
+			// flight at a time, several times the kv request size, for the
+			// whole phase.
+			for a := 0; a < 2; a++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					for seq := 0; ; seq++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						seed := uint64(worker)<<32 + uint64(seq) + 1
+						ses := r.Submit(hh.SessionOpts{}, func(t *hh.Task) uint64 {
+							return ranker.Run(t, seed, 4*size)
+						})
+						if _, err := ses.Wait(); err == nil {
+							ops.Add(1)
+						}
+					}
+				}(a)
+			}
+		}
+		res := Drive(srv, mix, clients, requests, size, nil)
+		close(stop)
+		wg.Wait()
+		srv.Drain()
+		return srv.Stats(), res, ops.Load()
+	}
+
+	stAlone, resAlone, _ := phase(false)
+	stMixed, resMixed, ops := phase(true)
+	return MixedStats{
+		P99Alone:      stAlone.LatencyP99,
+		P99Mixed:      stMixed.LatencyP99,
+		AnalyticsOps:  ops,
+		ChecksumAlone: resAlone.Checksum,
+		ChecksumMixed: resMixed.Checksum,
+		Failures:      resAlone.Failures + resMixed.Failures,
+	}, nil
+}

@@ -1,0 +1,39 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/hh"
+)
+
+// TestMixedCriticality runs the kv-vs-kv+rank comparison: analytics must
+// make progress while kv serves, the kv request stream must checksum
+// identically with and without the resident analytics, and the serve p99
+// must degrade boundedly (a generous envelope — the assertion is that
+// sharing the pool with long-occupancy sessions cannot wedge the
+// latency-sensitive traffic, not a tight SLO).
+func TestMixedCriticality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full drive phases per run")
+	}
+	st, err := RunMixed(hh.ParMem, 4, Params{}, nil, 6, 48, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Failures > 0 {
+		t.Fatalf("%d requests failed", st.Failures)
+	}
+	if st.AnalyticsOps == 0 {
+		t.Fatal("analytics made no progress while kv served")
+	}
+	if st.ChecksumMixed != st.ChecksumAlone {
+		t.Fatalf("kv checksum changed under analytics: %x vs %x alone",
+			st.ChecksumMixed, st.ChecksumAlone)
+	}
+	if bound := 100*st.P99Alone + 500*time.Millisecond; st.P99Mixed > bound {
+		t.Errorf("p99 with analytics %s, alone %s: degradation unbounded", st.P99Mixed, st.P99Alone)
+	}
+	t.Logf("p99 alone %s, with analytics %s (%d rank sessions completed)",
+		st.P99Alone, st.P99Mixed, st.AnalyticsOps)
+}

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/hh"
+	"repro/hh/serve"
+)
+
+// TestTxnSerializabilityOracle is the txn scenario's correctness anchor:
+// a txn-only closed loop with concurrent clients contending on a small
+// key space, in every runtime mode at P ∈ {2, 8}. After the drain, Drive
+// replays each run's committed schedule — whose order was fixed under the
+// per-key write locks — through a single-threaded map model and compares
+// the model's final state with the store's (txnStore.Verify); any lost or
+// torn write, or a commit that slipped past optimistic validation,
+// diverges. Across all eight runs the order-independent checksum must
+// also agree, since every request retries its aborts until it commits and
+// a committed request's checksum is a pure function of its seed. CI runs
+// this under -race.
+func TestTxnSerializabilityOracle(t *testing.T) {
+	const (
+		clients  = 8
+		requests = 96
+		size     = 240
+	)
+	p := Params{TxnKeys: 16} // small key space: real conflicts at P=8
+	mix, err := ParseMixWith(p, "txn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refSum uint64
+	var refLabel string
+	var sawAborts int64
+	for _, mode := range hh.Modes {
+		for _, procs := range []int{2, 8} {
+			label := fmt.Sprintf("%s/P=%d", mode, procs)
+			r := hh.New(hh.WithMode(mode), hh.WithProcs(procs), hh.WithGCPolicy(2048, 1.25))
+			srv := serve.New(r, serve.WithMaxInFlight(clients), serve.WithQueueDepth(2*clients))
+			res := Drive(srv, mix, clients, requests, size,
+				func(idx int64, scenario string, err error) {
+					t.Errorf("%s: request %d (%s) failed for good: %v", label, idx, scenario, err)
+				})
+			r.Close()
+
+			if res.OracleErr != nil {
+				t.Fatalf("%s: serializability oracle: %v", label, res.OracleErr)
+			}
+			if res.Commits != requests {
+				t.Errorf("%s: %d commits, want %d (aborts %d, failures %d)",
+					label, res.Commits, requests, res.Aborts, res.Failures)
+			}
+			if res.Aborts != res.Retries {
+				t.Errorf("%s: %d aborts but %d retries; every abort under the cap must retry",
+					label, res.Aborts, res.Retries)
+			}
+			sawAborts += res.Aborts
+			if refLabel == "" {
+				refSum, refLabel = res.Checksum, label
+			} else if res.Checksum != refSum {
+				t.Errorf("%s: checksum %x, want %x (%s): committed work is not mode-invariant",
+					label, res.Checksum, refSum, refLabel)
+			}
+		}
+	}
+	// Not asserted per-run (a P=2 run may serialize cleanly), but across
+	// 8 contended runs the storm should have produced at least one real
+	// conflict; zero suggests the validation path is dead code.
+	if sawAborts == 0 {
+		t.Log("note: no optimistic conflicts observed across any run")
+	}
+}
+
+// TestTxnVerifyCatchesDivergence proves the oracle is live: corrupt one
+// committed value behind the log's back and Verify must object.
+func TestTxnVerifyCatchesDivergence(t *testing.T) {
+	s := newTxnStore(8)
+	var wk [txnWrites]int32
+	var wv [txnWrites]uint64
+	for i := range wk {
+		wk[i] = int32(i)
+		wv[i] = uint64(100 + i)
+	}
+	var rk [txnReads]int32
+	var rv [txnReads]uint64
+	if !s.tryCommit(1, wk, wv, rk, rv) {
+		t.Fatal("uncontended commit failed")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("clean store: %v", err)
+	}
+	s.values[wk[0]].Store(0xDEAD)
+	if err := s.Verify(); err == nil {
+		t.Fatal("oracle accepted a corrupted store")
+	}
+}
+
+// TestTxnAbortErrorPlumbing drives one guaranteed conflict end to end and
+// checks the failure surfaces as *hh.AbortError wrapping ErrTxnConflict,
+// with the session's staging rolled back wholesale.
+func TestTxnAbortErrorPlumbing(t *testing.T) {
+	s := newTxnStore(8)
+	s.forceConflict.Store(true)
+	r := hh.New(hh.WithMode(hh.ParMem), hh.WithProcs(2), hh.WithGCPolicy(2048, 1.25))
+	defer r.Close()
+	ses := r.Submit(hh.SessionOpts{}, func(task *hh.Task) uint64 {
+		return s.Run(task, 7, 400)
+	})
+	_, err := ses.Wait()
+	var ab *hh.AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("conflict returned %v, want *hh.AbortError", err)
+	}
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("abort reason = %v, want ErrTxnConflict", ab.Reason)
+	}
+	if ses.WholesaleBytes() == 0 {
+		t.Fatal("aborted session rolled back zero bytes; staging was not session-local")
+	}
+	if s.Committed() != 0 {
+		t.Fatal("conflicted transaction reached the commit log")
+	}
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/hh"
+	"repro/hh/serve"
+	"repro/internal/load"
+	"repro/internal/mem"
+)
+
+// TxnTable benchmarks the transactional and mixed-criticality workloads:
+// a txn-only closed loop per runtime mode (optimistic transactions whose
+// conflicts abort through the panic-isolation path, so rollback is a
+// wholesale chunk release), then a kv-alone versus kv+rank comparison on
+// the same mode (what the latency-sensitive p99 pays for sharing the pool
+// and zone scheduler with long-occupancy analytics sessions). The abort%,
+// rollback-bytes-per-transaction, and retry-latency columns quantify the
+// free-rollback claim; the serializability oracle replays every run's
+// committed schedule and any divergence fails the table, as does a
+// checksum mismatch across rows.
+func TxnTable(w io.Writer, o Options) error {
+	o = o.normalize()
+	params := load.Params{TxnKeys: 24} // small enough to see real conflicts
+	mix, err := load.ParseMixWith(params, "txn")
+	if err != nil {
+		return err
+	}
+	clients := 2 * o.Procs
+	if clients < 8 {
+		clients = 8
+	}
+	requests, size := 16*clients, 800
+	if o.Paper {
+		requests *= 4
+	}
+	if runtime.GOMAXPROCS(0) < o.Procs {
+		runtime.GOMAXPROCS(o.Procs)
+	}
+	mem.DrainChunkPool()
+
+	header := []string{"system", "txns", "req/s", "abort%", "rollback(B/txn)", "retries",
+		"retry-lat(ms)", "p99-kv(ms)", "p99-kv+rank(ms)", "rank-ops"}
+	systems := []struct {
+		name string
+		mode hh.Mode
+		opts []hh.Option
+	}{
+		{hh.Seq.String(), hh.Seq, nil},
+		{hh.STW.String(), hh.STW, nil},
+		{hh.Manticore.String(), hh.Manticore, nil},
+		{hh.ParMem.String(), hh.ParMem, nil},
+		// The lazy-promotion ablation: staging writes pin instead of copy,
+		// and the abort path's release sweep must still resolve every pin.
+		{hh.ParMem.String() + "+deferred", hh.ParMem, []hh.Option{hh.WithDeferredPromotion()}},
+	}
+	var rows [][]string
+	var failures []string
+	var refSum uint64
+	var refMode string
+	for _, sys := range systems {
+		opts := append([]hh.Option{hh.WithMode(sys.mode), hh.WithProcs(o.Procs),
+			hh.WithGCPolicy(2048, 1.25)}, sys.opts...)
+		r := hh.New(opts...)
+		srv := serve.New(r, serve.WithMaxInFlight(clients), serve.WithQueueDepth(2*clients))
+		res := load.Drive(srv, mix, clients, requests, size, nil)
+		st := srv.Stats()
+		r.Close()
+
+		if res.Failures > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: %d request(s) failed on %s", res.Failures, sys.name))
+		}
+		if res.OracleErr != nil {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: serializability oracle on %s: %v", sys.name, res.OracleErr))
+		}
+		if refMode == "" {
+			refSum, refMode = res.Checksum, sys.name
+		} else if res.Checksum != refSum {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: request stream on %s: checksum %x, want %x (%s)",
+				sys.name, res.Checksum, refSum, refMode))
+		}
+
+		mx, err := load.RunMixed(sys.mode, o.Procs, params, sys.opts, clients, requests/2, 400)
+		if err != nil {
+			return err
+		}
+		if mx.Failures > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: %d mixed-phase request(s) failed on %s", mx.Failures, sys.name))
+		}
+		if mx.ChecksumMixed != mx.ChecksumAlone {
+			failures = append(failures, fmt.Sprintf(
+				"VALIDATION FAILURE: kv checksum on %s changed under analytics: %x vs %x",
+				sys.name, mx.ChecksumMixed, mx.ChecksumAlone))
+		}
+
+		rollbackPerTxn := float64(0)
+		if res.Aborts > 0 {
+			rollbackPerTxn = float64(res.RolledBackBytes) / float64(res.Aborts)
+		}
+		retryMs := float64(0)
+		if res.Retries > 0 {
+			retryMs = float64(res.RetryNanos) / float64(res.Retries) / 1e6
+		}
+		rows = append(rows, []string{
+			sys.name,
+			fmt.Sprintf("%d", res.Commits),
+			fmt.Sprintf("%.0f", st.Throughput),
+			fmt.Sprintf("%.1f", 100*res.AbortRate()),
+			fmt.Sprintf("%.0f", rollbackPerTxn),
+			fmt.Sprintf("%d", res.Retries),
+			fmt.Sprintf("%.3f", retryMs),
+			fmt.Sprintf("%.2f", float64(mx.P99Alone.Microseconds())/1e3),
+			fmt.Sprintf("%.2f", float64(mx.P99Mixed.Microseconds())/1e3),
+			fmt.Sprintf("%d", mx.AnalyticsOps),
+		})
+	}
+	tab := Table{Table: "txn", Procs: o.Procs, Header: header, Rows: rows, Failures: failures,
+		Title: fmt.Sprintf(
+			"Transactions: OCC commit/abort over %d keys at P=%d (%d clients), plus kv p99 with resident rank analytics",
+			params.TxnKeys, o.Procs, clients)}
+	if err := o.emit(w, tab); err != nil {
+		return err
+	}
+	if !o.JSON && len(failures) == 0 {
+		fmt.Fprintln(w, "validation: all systems agree on the request-stream checksum; oracle replay matches every schedule")
+	}
+	return nil
+}

@@ -65,6 +65,42 @@ type PanicError struct{ Value any }
 
 func (e *PanicError) Error() string { return fmt.Sprintf("rts: session panicked: %v", e.Value) }
 
+// AbortError is a voluntary rollback raised by Task.Abort: the session's
+// own code decided to abandon the request (a transaction that failed
+// optimistic validation, say) and unwound through the same panic-isolation
+// path a crash would take, so the subtree is reclaimed wholesale — the
+// hierarchy's free rollback. Result carries an application word (e.g. the
+// conflicting key) and Reason the application's why; callers distinguish
+// voluntary aborts from crashes with errors.As and decide whether to
+// retry.
+type AbortError struct {
+	Reason error  // application-supplied cause (may be nil)
+	Result uint64 // application payload, e.g. a conflict discriminator
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("rts: session aborted by its own code: %v", e.Reason)
+}
+
+// Unwrap exposes the application's cause to errors.Is/As chains.
+func (e *AbortError) Unwrap() error { return e.Reason }
+
+// Abort rolls the calling session back: it records an *AbortError as the
+// session's failure and unwinds through the panic-isolation machinery, so
+// every sibling task stops at its next allocation safe point and the
+// subtree — all memory the request staged — is reclaimed wholesale exactly
+// as a crash would be, with no per-object undo. Abort never returns.
+// Session.Wait returns the *AbortError. Outside a session (Runtime.Run)
+// the AbortError itself is panicked.
+func (t *Task) Abort(result uint64, reason error) {
+	err := &AbortError{Reason: reason, Result: result}
+	if t.ses == nil {
+		panic(err)
+	}
+	t.ses.fail(err)
+	panic(sessionAbort{})
+}
+
 // sessionAbort is the internal panic raised at safe points of a session
 // that has already failed; boundaries translate it back to the recorded
 // first failure.

@@ -80,6 +80,7 @@ var evInfo = [evCount]struct{ name, cat string }{
 	EvDrain:      {"drain", "net"},
 	EvQueue:      {"queue-wait", "serve"},
 	EvRequest:    {"request", "client"},
+	EvTxn:        {"txn-commit", "txn"},
 }
 
 var shedReasonNames = [...]string{"saturated", "tenant", "pressure", "draining"}
@@ -157,6 +158,16 @@ func spanArgs(typ Type, begAux uint32, begArg uint64, endAux uint32, endArg uint
 			a["outcome"] = "shed"
 		default:
 			a["outcome"] = "error"
+		}
+	case EvTxn:
+		a["seed"] = begArg
+		if !closedAtCut {
+			if endAux == 0 {
+				a["outcome"] = "commit"
+			} else {
+				a["outcome"] = "abort"
+			}
+			a["staged_words"] = endArg
 		}
 	}
 	if closedAtCut {

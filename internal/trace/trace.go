@@ -42,6 +42,7 @@ const (
 	EvDrain           // drain phase (span): aux = drain scope
 	EvQueue           // request queued behind admission (span): end arg = session ID
 	EvRequest         // client-side request (span): arg = request seq, end aux = outcome
+	EvTxn             // transaction commit window (span): beg arg = txn seed, end aux = outcome (0 commit, 1 abort), end arg = staged words
 	evCount
 )
 

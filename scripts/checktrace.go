@@ -14,7 +14,11 @@
 // -min-events fails the check unless the trace holds at least N non-
 // metadata events; -min-zone-overlap fails it unless at least N
 // zone-collect spans were in flight at one instant somewhere in the trace
-// (the paper's concurrent-zone property, checked on the wire artifact).
+// (the paper's concurrent-zone property, checked on the wire artifact);
+// -min-txn fails it unless at least N resolved txn-commit spans appear,
+// and every resolved txn span must carry a commit or abort outcome — a
+// span with neither means a commit window closed without its paired
+// resolution event.
 package main
 
 import (
@@ -43,6 +47,8 @@ func main() {
 	minEvents := flag.Int("min-events", 1, "fail unless the trace holds at least this many non-metadata events")
 	minZoneOverlap := flag.Int("min-zone-overlap", 0,
 		"fail unless this many zone-collect spans were in flight at one instant (0 = off)")
+	minTxn := flag.Int("min-txn", 0,
+		"fail unless this many resolved txn-commit spans appear (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: checktrace [-min-events N] [-min-zone-overlap N] TRACE.json")
@@ -61,6 +67,7 @@ func main() {
 
 	events := 0
 	spans := 0
+	txnCommits, txnAborts := 0, 0
 	lastTs := -1.0
 	var zoneEdges []edge
 	for i, e := range tf.TraceEvents {
@@ -75,6 +82,22 @@ func main() {
 			spans++
 			if e.Name == "zone-collect" {
 				zoneEdges = append(zoneEdges, edge{e.Ts, +1}, edge{e.Ts + *e.Dur, -1})
+			}
+			if e.Name == "txn-commit" {
+				// Every resolved commit window must end in exactly one of
+				// the two outcomes; a span cut open mid-recording is the
+				// only excuse for carrying neither.
+				switch e.Args["outcome"] {
+				case "commit":
+					txnCommits++
+				case "abort":
+					txnAborts++
+				default:
+					if e.Args["open_at_cut"] != true {
+						fatal(fmt.Errorf("%s: event %d: txn-commit span with no commit/abort outcome",
+							path, i))
+					}
+				}
 			}
 		case "i":
 			// instants are complete by construction
@@ -112,9 +135,13 @@ func main() {
 		fatal(fmt.Errorf("%s: peak concurrent zone-collect spans %d, want >= %d",
 			path, peak, *minZoneOverlap))
 	}
+	if *minTxn > 0 && txnCommits+txnAborts < *minTxn {
+		fatal(fmt.Errorf("%s: only %d resolved txn spans (%d commit, %d abort), want >= %d",
+			path, txnCommits+txnAborts, txnCommits, txnAborts, *minTxn))
+	}
 
-	fmt.Printf("checktrace ok: %s: %d events (%d spans), peak concurrent zone collections %d\n",
-		path, events, spans, peak)
+	fmt.Printf("checktrace ok: %s: %d events (%d spans), peak concurrent zone collections %d, txn %d commit / %d abort\n",
+		path, events, spans, peak, txnCommits, txnAborts)
 }
 
 type edge struct {
